@@ -1,0 +1,86 @@
+#pragma once
+/// Shared helpers for the benchmark harness binaries: aligned table
+/// printing, geometric means, time formatting.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+/// The paper's measurement protocol (§3.4): run `batch` executions per
+/// timed measurement ("20 runs with a single synchronization at the end"),
+/// repeating measurements until `min_total_seconds` of benchmark time has
+/// accumulated; report the best per-run time. Scaled-down defaults keep
+/// the CPU-backend harness fast; pass 20 / 2.0 for the paper's exact
+/// protocol.
+inline double measure_seconds(const std::function<void()>& fn, int batch = 5,
+                              double min_total_seconds = 0.3) {
+  using clock = std::chrono::steady_clock;
+  double best = std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  do {
+    const auto t0 = clock::now();
+    for (int i = 0; i < batch; ++i) fn();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    best = std::min(best, dt / batch);
+    total += dt;
+  } while (total < min_total_seconds);
+  return best;
+}
+
+/// Geometric mean accumulator with range tracking (paper Table 4 format).
+class GeoMean {
+ public:
+  void add(double x) {
+    if (x <= 0.0) return;
+    log_sum_ += std::log(x);
+    ++count_;
+    lo_ = count_ == 1 ? x : std::min(lo_, x);
+    hi_ = count_ == 1 ? x : std::max(hi_, x);
+  }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : std::exp(log_sum_ / count_);
+  }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+ private:
+  double log_sum_ = 0.0;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  int count_ = 0;
+};
+
+inline std::string fmt_seconds(double s) {
+  char buf[32];
+  if (s < 0) {
+    return "   n/a";
+  }
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  }
+  return buf;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+}  // namespace benchutil

@@ -1,0 +1,125 @@
+/// Kernel microbenchmarks (google-benchmark): REAL CPU-backend throughput
+/// of every Phase-1 kernel across TILESIZE / COLPERBLOCK / SPLITK and
+/// storage precision — the raw material behind the paper's §4.2 analysis
+/// and the hyperparameter discussion of §3.3.
+
+#include <benchmark/benchmark.h>
+
+#include "common/half.hpp"
+#include "ka/backend.hpp"
+#include "qr/band_reduction.hpp"
+#include "rand/matrix_gen.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+/// A reusable tiled working set: nt x nt tiles with a factored panel.
+template <class T>
+struct Fixture {
+  Matrix<T> w;
+  Matrix<T> tau;
+  qr::KernelConfig cfg;
+  ka::CpuBackend be;
+
+  Fixture(index_t nt, int ts, int cpb, int splitk)
+      : w(nt * ts, nt * ts), tau(nt, ts, T(0)) {
+    cfg.tilesize = ts;
+    cfg.colperblock = cpb;
+    cfg.splitk = splitk;
+    rnd::Xoshiro256 rng(99);
+    for (index_t j = 0; j < w.cols(); ++j) {
+      for (index_t i = 0; i < w.rows(); ++i) {
+        w(i, j) = static_cast<T>(rng.normal());
+      }
+    }
+  }
+};
+
+template <class T>
+void BM_geqrt(benchmark::State& state) {
+  const int ts = static_cast<int>(state.range(0));
+  const int splitk = static_cast<int>(state.range(1));
+  Fixture<T> f(2, ts, std::min(32, ts), splitk);
+  for (auto _ : state) {
+    qr::geqrt<T>(f.be, f.w.view(), 0, 0, f.tau.view(), f.cfg);
+    benchmark::DoNotOptimize(f.w.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flops"] = qr::cost::geqrt_flops(ts);
+}
+
+template <class T>
+void BM_tsqrt_fused(benchmark::State& state) {
+  const int ts = static_cast<int>(state.range(0));
+  const index_t nrows = state.range(1);
+  Fixture<T> f(nrows + 1, ts, std::min(32, ts), 1);
+  qr::geqrt<T>(f.be, f.w.view(), 0, 0, f.tau.view(), f.cfg);
+  for (auto _ : state) {
+    qr::tsqrt<T>(f.be, f.w.view(), 0, 0, 1, nrows + 1, f.tau.view(), f.cfg);
+    benchmark::DoNotOptimize(f.w.data());
+  }
+  state.counters["rows"] = static_cast<double>(nrows);
+}
+
+template <class T>
+void BM_unmqr(benchmark::State& state) {
+  const int ts = static_cast<int>(state.range(0));
+  const int cpb = static_cast<int>(state.range(1));
+  const index_t nt = 8;
+  Fixture<T> f(nt, ts, cpb, 1);
+  qr::geqrt<T>(f.be, f.w.view(), 0, 0, f.tau.view(), f.cfg);
+  for (auto _ : state) {
+    qr::unmqr<T>(f.be, f.w.view(), 0, 0, 1, nt, f.tau.view(), f.cfg);
+    benchmark::DoNotOptimize(f.w.data());
+  }
+  state.counters["cols"] = static_cast<double>((nt - 1) * ts);
+}
+
+template <class T>
+void BM_tsmqr_fused(benchmark::State& state) {
+  const int ts = static_cast<int>(state.range(0));
+  const index_t nt = state.range(1);
+  Fixture<T> f(nt, ts, std::min(32, ts), 1);
+  qr::geqrt<T>(f.be, f.w.view(), 0, 0, f.tau.view(), f.cfg);
+  qr::tsqrt<T>(f.be, f.w.view(), 0, 0, 1, nt, f.tau.view(), f.cfg);
+  for (auto _ : state) {
+    qr::tsmqr<T>(f.be, f.w.view(), 0, 0, 1, nt, 1, nt, f.tau.view(), f.cfg);
+    benchmark::DoNotOptimize(f.w.data());
+  }
+}
+
+void BM_band_reduction_fp32(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const bool fused = state.range(1) != 0;
+  Fixture<float> f(n / 32, 32, 32, 1);
+  f.cfg.fused = fused;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rnd::Xoshiro256 rng(5);
+    for (index_t j = 0; j < f.w.cols(); ++j) {
+      for (index_t i = 0; i < f.w.rows(); ++i) {
+        f.w(i, j) = static_cast<float>(rng.normal());
+      }
+    }
+    state.ResumeTiming();
+    qr::band_reduction<float>(f.be, f.w.view(), f.tau.view(), f.cfg);
+  }
+  const double n3 = static_cast<double>(n) * n * n;
+  state.counters["GFlop/s"] = benchmark::Counter(
+      (8.0 / 3.0) * n3 * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_geqrt, float)->Args({16, 1})->Args({32, 1})->Args({32, 8})->Args({64, 1})->Args({64, 8});
+BENCHMARK_TEMPLATE(BM_geqrt, double)->Args({32, 1})->Args({64, 1});
+BENCHMARK_TEMPLATE(BM_geqrt, unisvd::Half)->Args({32, 1});
+BENCHMARK_TEMPLATE(BM_tsqrt_fused, float)->Args({32, 1})->Args({32, 4})->Args({32, 15});
+BENCHMARK_TEMPLATE(BM_unmqr, float)->Args({32, 8})->Args({32, 16})->Args({32, 32})->Args({64, 32});
+BENCHMARK_TEMPLATE(BM_unmqr, double)->Args({32, 32});
+BENCHMARK_TEMPLATE(BM_tsmqr_fused, float)->Args({32, 4})->Args({32, 8})->Args({64, 4});
+BENCHMARK_TEMPLATE(BM_tsmqr_fused, unisvd::Half)->Args({32, 4});
+BENCHMARK(BM_band_reduction_fp32)->Args({256, 1})->Args({256, 0})->Args({512, 1})->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

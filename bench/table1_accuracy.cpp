@@ -1,0 +1,81 @@
+/// Table 1: relative error of the computed singular values against the
+/// constructed spectrum, for the unified implementation with the reference
+/// solver's error in brackets, across FP64 / FP32 / FP16 and matrix sizes.
+///
+/// This is a REAL experiment (not simulated): matrices A = U diag(sigma) V^T
+/// with known spectra (arithmetic / logarithmic / quarter-circle on [0,1],
+/// paper §3.2) are run through the executing CPU backend in each storage
+/// precision; the maximum relative Frobenius-norm error over all runs is
+/// reported. The reference column uses the one-stage baseline (stands in
+/// for cuSOLVER, which is unavailable off-NVIDIA). Sizes and the number of
+/// matrices are reduced from the paper's 16384/30 to CPU-friendly values;
+/// the error *levels* per precision are the reproduced quantity.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "baseline/onestage.hpp"
+#include "common/linalg_ref.hpp"
+#include "core/svd.hpp"
+#include "rand/matrix_gen.hpp"
+#include "rand/spectrum.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+struct ErrPair {
+  double unified = 0.0;
+  double reference = 0.0;
+};
+
+template <class T>
+ErrPair max_error_for(index_t n, int seeds, ka::Backend& be) {
+  ErrPair out;
+  SvdConfig cfg;
+  cfg.kernels.tilesize = static_cast<int>(std::min<index_t>(32, n));
+  cfg.kernels.colperblock = cfg.kernels.tilesize;
+  for (auto kind : {rnd::Spectrum::Arithmetic, rnd::Spectrum::Logarithmic,
+                    rnd::Spectrum::QuarterCircle}) {
+    for (int s = 0; s < seeds; ++s) {
+      rnd::Xoshiro256 rng(1234u + static_cast<unsigned>(n) * 7u +
+                          static_cast<unsigned>(kind) * 131u + static_cast<unsigned>(s));
+      const auto sigma = rnd::make_spectrum(kind, n);
+      const Matrix<double> ad = n <= 256 ? rnd::matrix_with_spectrum(sigma, rng)
+                                         : rnd::matrix_with_spectrum_fast(sigma, rng);
+      const Matrix<T> a = rnd::round_to<T>(ad);
+      const auto rep = svd_values_report<T>(a.view(), cfg, be);
+      out.unified = std::max(out.unified, ref::rel_sv_error(rep.values, sigma));
+      const auto ref_sv = baseline::onestage_svdvals<T>(a.view());
+      out.reference = std::max(out.reference, ref::rel_sv_error(ref_sv, sigma));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header(
+      "Table 1 -- max relative error vs constructed spectrum: unified "
+      "(reference one-stage solver in brackets)");
+  std::printf("%-8s %24s %24s %24s\n", "n", "FP64", "FP32", "FP16");
+
+  ka::CpuBackend be;
+  const std::vector<index_t> sizes = {64, 256, 1024};
+  for (const auto n : sizes) {
+    const int seeds = n >= 1024 ? 1 : 2;
+    const auto e64 = max_error_for<double>(n, seeds, be);
+    const auto e32 = max_error_for<float>(n, seeds, be);
+    const auto e16 = max_error_for<Half>(n, seeds, be);
+    std::printf("%-8lld   %9.1e (%9.1e)   %9.1e (%9.1e)   %9.1e (%9.1e)\n",
+                static_cast<long long>(n), e64.unified, e64.reference, e32.unified,
+                e32.reference, e16.unified, e16.reference);
+  }
+  std::printf(
+      "\nExpected levels (paper Table 1): FP64 ~1e-15..1e-14, FP32 ~1e-7,\n"
+      "FP16 ~1e-3..1e-2, growing slowly with n; unified errors aligned with\n"
+      "the reference solver. 3 spectra x seeds per cell, max over runs.\n");
+  return 0;
+}

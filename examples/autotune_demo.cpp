@@ -1,0 +1,49 @@
+/// Hyperparameter autotuning demo (paper §3.3): brute-force search over
+/// TILESIZE x COLPERBLOCK on the executing CPU backend, ranked by measured
+/// Phase-1 wall clock — the same procedure the paper ran per GPU and
+/// precision, applied to the live backend of this machine.
+///
+///   $ ./autotune_demo [n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/svd.hpp"
+#include "core/tuner.hpp"
+#include "rand/matrix_gen.hpp"
+
+using namespace unisvd;
+
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? std::atoll(argv[1]) : 512;
+  ka::CpuBackend be;
+
+  std::printf("autotuning Phase-1 on the CPU backend, n = %lld, FP32\n",
+              static_cast<long long>(n));
+  const auto result = core::autotune<float>(be, n, {}, /*repeats=*/2);
+
+  std::printf("\n%-10s %-12s %-8s %12s %10s\n", "TILESIZE", "COLPERBLOCK", "SPLITK",
+              "seconds", "vs best");
+  for (const auto& e : result.all) {
+    std::printf("%-10d %-12d %-8d %12.4f %9.2fx\n", e.config.tilesize,
+                e.config.colperblock, e.config.splitk, e.seconds,
+                e.seconds / result.all.front().seconds);
+  }
+
+  std::printf("\nbest: TILESIZE=%d COLPERBLOCK=%d SPLITK=%d\n", result.best.tilesize,
+              result.best.colperblock, result.best.splitk);
+
+  // Use the tuned configuration for a full solve.
+  rnd::Xoshiro256 rng(3);
+  const auto a64 = rnd::gaussian_matrix(n, n, rng);
+  const auto a = rnd::round_to<float>(a64);
+  SvdConfig cfg;
+  cfg.kernels = result.best;
+  const auto rep = svd_values_report<float>(a.view(), cfg, be);
+  std::printf("full pipeline with tuned config: %.1f ms (sigma_1 = %.4f)\n",
+              1e3 * rep.stage_times.total(), rep.values.front());
+  std::printf(
+      "\nTakeaway (paper §3.3): up to ~50%% swing from a single parameter —\n"
+      "tuning, not rewriting, is how the unified kernels port.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// LoRA-style rank selection — the machine-learning motivation from the
+/// paper's introduction: low-rank adaptation needs the singular spectrum of
+/// weight matrices to pick an adapter rank that retains a target fraction
+/// of the spectral energy, increasingly in reduced precision.
+///
+/// This example builds a synthetic "attention projection" weight matrix
+/// with a realistic heavy-tailed spectrum plus noise, computes its singular
+/// values with the unified solver in FP32 and FP16, and reports the rank
+/// needed to retain 90% / 95% / 99% of the energy in each precision —
+/// demonstrating that FP16 storage is sufficient for rank selection.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/svd.hpp"
+#include "rand/matrix_gen.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+/// Rank needed so that sum of sigma_i^2 over the first r values reaches
+/// `fraction` of the total.
+index_t rank_for_energy(const std::vector<double>& sv, double fraction) {
+  double total = 0.0;
+  for (double s : sv) total += s * s;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    acc += sv[i] * sv[i];
+    if (acc >= fraction * total) return static_cast<index_t>(i + 1);
+  }
+  return static_cast<index_t>(sv.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? std::atoll(argv[1]) : 512;
+  std::printf("LoRA rank selection on a synthetic %lld x %lld weight matrix\n",
+              static_cast<long long>(n), static_cast<long long>(n));
+
+  // Power-law spectrum (trained-weight-like) + small isotropic noise floor.
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    sigma[static_cast<std::size_t>(i)] =
+        std::pow(static_cast<double>(i + 1), -0.8) + 5e-4;
+  }
+  rnd::Xoshiro256 rng(2024);
+  const Matrix<double> w64 = rnd::matrix_with_spectrum_fast(sigma, rng);
+
+  const auto report = [&](auto tag, const char* name) {
+    using T = decltype(tag);
+    const Matrix<T> w = rnd::round_to<T>(w64);
+    const auto rep = svd_values_report<T>(w.view());
+    std::printf("\n%s storage (%.1f ms, %zu values)\n", name,
+                1e3 * rep.stage_times.total(), rep.values.size());
+    for (double frac : {0.90, 0.95, 0.99}) {
+      std::printf("  rank retaining %2.0f%% energy: %lld\n", 100.0 * frac,
+                  static_cast<long long>(rank_for_energy(rep.values, frac)));
+    }
+    return rep.values;
+  };
+
+  const auto sv32 = report(float{}, "FP32");
+  const auto sv16 = report(Half{}, "FP16");
+
+  // Agreement of the selected ranks across precisions.
+  std::printf("\nFP16 vs FP32 rank agreement:\n");
+  for (double frac : {0.90, 0.95, 0.99}) {
+    const auto r32 = rank_for_energy(sv32, frac);
+    const auto r16 = rank_for_energy(sv16, frac);
+    std::printf("  %2.0f%%: FP32 -> %-5lld FP16 -> %-5lld (delta %+lld)\n",
+                100.0 * frac, static_cast<long long>(r32),
+                static_cast<long long>(r16), static_cast<long long>(r16 - r32));
+  }
+  std::printf(
+      "\nTakeaway (paper §1): half-precision singular spectra are accurate\n"
+      "enough to drive LoRA rank choices at half the memory cost.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Portability report — the paper's central claim in one executable:
+/// one kernel source, every hardware target, every precision.
+///
+/// Runs the SAME pipeline (a) for real on two executing backends (serial
+/// reference and multithreaded CPU) verifying bitwise identical results,
+/// and (b) through the device performance model for every GPU of the
+/// paper's Table 2 fleet, with per-(device, precision) tuned
+/// hyperparameters — printing the tuned configuration and predicted
+/// runtime, including the support gaps (no FP64 on Metal, no FP16 on
+/// Julia-era AMD).
+
+#include <cstdio>
+
+#include "core/svd.hpp"
+#include "rand/matrix_gen.hpp"
+#include "sim/library_model.hpp"
+#include "sim/tuning.hpp"
+
+using namespace unisvd;
+
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? std::atoll(argv[1]) : 4096;
+
+  std::printf("== Part 1: one source, two executing backends (n = 256) ==\n");
+  rnd::Xoshiro256 rng(11);
+  const auto a = rnd::gaussian_matrix(256, 256, rng);
+  ka::SerialBackend serial;
+  ka::CpuBackend cpu;
+  const auto v1 = svd_values_report<double>(a.view(), {}, serial).values;
+  const auto v2 = svd_values_report<double>(a.view(), {}, cpu).values;
+  bool identical = true;
+  for (std::size_t i = 0; i < v1.size(); ++i) identical &= (v1[i] == v2[i]);
+  std::printf("serial vs %u-thread CPU backend: %s (sigma_1 = %.12f)\n",
+              static_cast<ka::CpuBackend&>(cpu).pool().size(),
+              identical ? "bitwise identical" : "MISMATCH", v1.front());
+
+  std::printf("\n== Part 2: tuned configuration + predicted runtime per GPU "
+              "(n = %lld) ==\n", static_cast<long long>(n));
+  std::printf("%-9s %-6s %8s %8s %8s %12s %10s\n", "device", "prec", "TILESZ",
+              "CPB", "SPLITK", "runtime", "trail/pan");
+  for (const auto* dev : sim::all_devices()) {
+    for (const auto p : {Precision::FP16, Precision::FP32, Precision::FP64}) {
+      if (!dev->supports(p)) {
+        std::printf("%-9s %-6s %34s\n", dev->name.c_str(),
+                    std::string(to_string(p)).c_str(), "-- not supported --");
+        continue;
+      }
+      if (!dev->fits(n, p)) {
+        std::printf("%-9s %-6s %34s\n", dev->name.c_str(),
+                    std::string(to_string(p)).c_str(), "-- exceeds memory --");
+        continue;
+      }
+      const auto cfg = sim::tuned_kernel_config(*dev, p, n);
+      const auto br = sim::simulate_unified(*dev, n, p);
+      std::printf("%-9s %-6s %8d %8d %8d %11.3fs %10.2f\n", dev->name.c_str(),
+                  std::string(to_string(p)).c_str(), cfg.tilesize, cfg.colperblock,
+                  cfg.splitk, br.total(), br.trailing / br.panel);
+    }
+  }
+  std::printf(
+      "\nNo kernel was rewritten per row above: the hyperparameters are the\n"
+      "only per-hardware knobs (paper contribution 5).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// Quickstart: compute the singular values of a random dense matrix with
+/// the unified API, in three storage precisions, and check them against a
+/// known constructed spectrum.
+///
+///   $ ./quickstart [n]
+///
+/// Mirrors the paper's headline usage: ONE function, any element type, any
+/// execution backend (here the multithreaded CPU backend).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/linalg_ref.hpp"
+#include "core/svd.hpp"
+#include "rand/matrix_gen.hpp"
+#include "rand/spectrum.hpp"
+
+using namespace unisvd;
+
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? std::atoll(argv[1]) : 256;
+  std::printf("unisvd quickstart: singular values of a %lld x %lld matrix\n",
+              static_cast<long long>(n), static_cast<long long>(n));
+
+  // Build A = U * diag(sigma) * V^T with a known logarithmic spectrum.
+  rnd::Xoshiro256 rng(7);
+  const auto sigma = rnd::logarithmic_spectrum(n, 3.0);
+  const Matrix<double> a64 =
+      n <= 512 ? rnd::matrix_with_spectrum(sigma, rng)
+               : rnd::matrix_with_spectrum_fast(sigma, rng);
+
+  // The SAME call, specialized per storage type at compile time — the C++
+  // counterpart of the paper's type-agnostic Julia svdvals.
+  const auto run = [&](auto tag, const char* name) {
+    using T = decltype(tag);
+    const Matrix<T> a = rnd::round_to<T>(a64);
+    const auto rep = svd_values_report<T>(a.view());
+    std::printf("%-5s sigma_1 = %.6f  sigma_n = %.3e  rel.err = %.2e  (%.1f ms)\n",
+                name, rep.values.front(), rep.values.back(),
+                ref::rel_sv_error(rep.values, sigma),
+                1e3 * rep.stage_times.total());
+  };
+  run(double{}, "FP64");
+  run(float{}, "FP32");
+  run(Half{}, "FP16");
+
+  std::printf("\nExpected: identical leading digits, error levels ~1e-15 / 1e-7 /"
+              " 1e-3 per precision.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#pragma once
+/// \file band_matrix.hpp
+/// Packed storage for upper band matrices (the output of Stage 1).
+///
+/// After band reduction the working matrix holds the band entries *plus*
+/// the Householder tails of the annihilated regions (LAPACK-style implicit
+/// storage), so Stage 2 starts by extracting the numerical band: diagonals
+/// 0..bw. Storage is diagonal-major with two extra transient diagonals
+/// (-1 and bw+1) that hold the bulges while Stage 2 chases them.
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/precision.hpp"
+
+namespace unisvd::band {
+
+/// Upper band matrix of bandwidth `bw` with transient bulge diagonals.
+/// Element (i, j) is stored at diags_(j - i + 1, i) for j - i in [-1, bw+1].
+template <class CT>
+class BandMatrix {
+ public:
+  BandMatrix(index_t n, index_t bw)
+      : n_(n), bw_(bw), diags_(bw + 3, n, CT(0)) {
+    UNISVD_REQUIRE(n >= 1, "BandMatrix: extent must be positive");
+    UNISVD_REQUIRE(bw >= 1 && bw < n + 1, "BandMatrix: bandwidth out of range");
+  }
+
+  [[nodiscard]] index_t n() const noexcept { return n_; }
+  [[nodiscard]] index_t bandwidth() const noexcept { return bw_; }
+
+  /// Element (i, j); (j - i) must lie in [-1, bw + 1].
+  [[nodiscard]] CT& at(index_t i, index_t j) noexcept { return diags_(j - i + 1, i); }
+  [[nodiscard]] const CT& at(index_t i, index_t j) const noexcept {
+    return diags_(j - i + 1, i);
+  }
+
+  /// Dense reconstruction of the *band part* (transient diagonals included
+  /// so tests can verify they are clean).
+  [[nodiscard]] Matrix<double> to_dense() const {
+    Matrix<double> out(n_, n_, 0.0);
+    for (index_t i = 0; i < n_; ++i) {
+      const index_t lo = std::max<index_t>(0, i - 1);
+      const index_t hi = std::min(n_ - 1, i + bw_ + 1);
+      for (index_t j = lo; j <= hi; ++j) {
+        out(i, j) = static_cast<double>(at(i, j));
+      }
+    }
+    return out;
+  }
+
+ private:
+  index_t n_;
+  index_t bw_;
+  Matrix<CT> diags_;
+};
+
+/// Extract diagonals 0..bw of a (possibly implicitly-stored) matrix into
+/// packed band form, converting storage precision T to compute precision.
+template <class T, class CT = compute_t<T>>
+BandMatrix<CT> extract_band(ConstMatrixView<T> a, index_t bw) {
+  UNISVD_REQUIRE(a.rows() == a.cols(), "extract_band: matrix must be square");
+  const index_t n = a.rows();
+  BandMatrix<CT> out(n, std::min(bw, n - 1 > 0 ? n - 1 : 1));
+  const index_t bweff = out.bandwidth();
+  for (index_t i = 0; i < n; ++i) {
+    const index_t hi = std::min(n - 1, i + bweff);
+    for (index_t j = i; j <= hi; ++j) {
+      out.at(i, j) = static_cast<CT>(a.at(i, j));
+    }
+  }
+  return out;
+}
+
+}  // namespace unisvd::band

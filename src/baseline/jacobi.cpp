@@ -1,0 +1,101 @@
+#include "baseline/jacobi.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace unisvd::baseline {
+
+namespace {
+
+/// Rotate columns p, q of g to orthogonality. Returns true if a rotation
+/// was applied (off-diagonal above threshold).
+bool rotate_pair(Matrix<double>& g, index_t p, index_t q, double tol) {
+  const index_t n = g.rows();
+  double app = 0.0;
+  double aqq = 0.0;
+  double apq = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double gp = g(i, p);
+    const double gq = g(i, q);
+    app += gp * gp;
+    aqq += gq * gq;
+    apq += gp * gq;
+  }
+  const double denom = std::sqrt(app * aqq);
+  if (denom == 0.0 || std::abs(apq) <= tol * denom) return false;
+
+  const double zeta = (aqq - app) / (2.0 * apq);
+  const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+  for (index_t i = 0; i < n; ++i) {
+    const double gp = g(i, p);
+    const double gq = g(i, q);
+    g(i, p) = c * gp - s * gq;
+    g(i, q) = s * gp + c * gq;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<double> jacobi_svdvals(ConstMatrixView<double> a, ka::ThreadPool* pool,
+                                   const JacobiOptions& opts) {
+  UNISVD_REQUIRE(a.rows() == a.cols(), "jacobi_svdvals: matrix must be square");
+  const index_t n = a.rows();
+  Matrix<double> g(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) g(i, j) = a.at(i, j);
+  }
+
+  // Round-robin tournament: m slots (m even, last may be a bye), m-1 rounds
+  // of m/2 disjoint pairs per sweep. Disjointness makes rounds parallel.
+  const index_t m = n + (n % 2);
+  std::vector<index_t> slot(static_cast<std::size_t>(m));
+  for (index_t i = 0; i < m; ++i) slot[static_cast<std::size_t>(i)] = i;
+
+  bool converged = false;
+  for (int sweep = 0; sweep < opts.max_sweeps && !converged; ++sweep) {
+    std::atomic<bool> any_rotation{false};
+    for (index_t round = 0; round < m - 1; ++round) {
+      const index_t pairs = m / 2;
+      auto do_pair = [&](index_t r) {
+        const index_t i1 = slot[static_cast<std::size_t>(r)];
+        const index_t i2 = slot[static_cast<std::size_t>(m - 1 - r)];
+        if (i1 >= n || i2 >= n) return;  // bye slot
+        const index_t p = std::min(i1, i2);
+        const index_t q = std::max(i1, i2);
+        if (rotate_pair(g, p, q, opts.tol)) {
+          any_rotation.store(true, std::memory_order_relaxed);
+        }
+      };
+      if (pool != nullptr) {
+        pool->parallel_for(pairs, do_pair);
+      } else {
+        for (index_t r = 0; r < pairs; ++r) do_pair(r);
+      }
+      // Rotate slots 1..m-1 (slot 0 fixed): standard tournament schedule.
+      const index_t last = slot[static_cast<std::size_t>(m - 1)];
+      for (index_t i = m - 1; i > 1; --i) {
+        slot[static_cast<std::size_t>(i)] = slot[static_cast<std::size_t>(i - 1)];
+      }
+      slot[1] = last;
+    }
+    converged = !any_rotation.load();
+  }
+
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < n; ++i) s += g(i, j) * g(i, j);
+    sigma[static_cast<std::size_t>(j)] = std::sqrt(s);
+  }
+  std::sort(sigma.begin(), sigma.end(), std::greater<double>());
+  return sigma;
+}
+
+}  // namespace unisvd::baseline

@@ -1,0 +1,127 @@
+#include "baseline/onestage.hpp"
+
+#include <cmath>
+
+#include "bidiag/bidiag_qr.hpp"
+#include "common/error.hpp"
+#include "common/half.hpp"
+
+namespace unisvd::baseline {
+
+namespace {
+
+/// Form the Householder reflector of x = [alpha; tail]: on return x holds
+/// [beta; v_tail] with v = [1; v_tail], and tau such that
+/// (I - tau v v^T) x = [beta; 0]. Returns tau (0 for a null vector).
+template <class CT>
+CT make_reflector(CT* x, index_t len) {
+  if (len <= 1) return CT(0);
+  CT nrm2 = CT(0);
+  for (index_t i = 1; i < len; ++i) nrm2 += x[i] * x[i];
+  if (nrm2 == CT(0)) return CT(0);
+  const CT alpha = x[0];
+  const CT r = std::sqrt(alpha * alpha + nrm2);
+  const CT beta = alpha >= CT(0) ? -r : r;
+  const CT tau = (beta - alpha) / beta;
+  const CT inv = CT(1) / (alpha - beta);
+  for (index_t i = 1; i < len; ++i) x[i] *= inv;
+  x[0] = beta;
+  return tau;
+}
+
+template <class F>
+void maybe_parallel(ka::ThreadPool* pool, index_t n, F&& f) {
+  if (pool != nullptr && n > 8) {
+    pool->parallel_for(n, f);
+  } else {
+    for (index_t i = 0; i < n; ++i) f(i);
+  }
+}
+
+}  // namespace
+
+template <class CT>
+Bidiagonal<CT> bidiagonalize(Matrix<CT>& a, ka::ThreadPool* pool) {
+  UNISVD_REQUIRE(a.rows() == a.cols(), "bidiagonalize: matrix must be square");
+  const index_t n = a.rows();
+  Bidiagonal<CT> out;
+  out.d.resize(static_cast<std::size_t>(n));
+  if (n == 0) return out;
+  out.e.resize(static_cast<std::size_t>(n - 1));
+
+  std::vector<CT> v(static_cast<std::size_t>(n));
+
+  for (index_t k = 0; k < n; ++k) {
+    // Left reflector: zero a(k+1:, k).
+    const index_t len = n - k;
+    const CT tau_l = make_reflector(&a(k, k), len);
+    out.d[static_cast<std::size_t>(k)] = a(k, k);
+    if (tau_l != CT(0)) {
+      // v = [1; a(k+1:, k)] applies to columns k+1..n-1.
+      maybe_parallel(pool, n - k - 1, [&](index_t jj) {
+        const index_t j = k + 1 + jj;
+        CT dot = a(k, j);
+        for (index_t i = k + 1; i < n; ++i) dot += a(i, k) * a(i, j);
+        const CT f = tau_l * dot;
+        a(k, j) -= f;
+        for (index_t i = k + 1; i < n; ++i) a(i, j) -= f * a(i, k);
+      });
+    }
+
+    if (k + 1 >= n) break;
+
+    // Right reflector: zero a(k, k+2:). Row k is strided; stage it.
+    const index_t rlen = n - k - 1;
+    for (index_t j = 0; j < rlen; ++j) v[static_cast<std::size_t>(j)] = a(k, k + 1 + j);
+    const CT tau_r = rlen > 1 ? make_reflector(v.data(), rlen) : CT(0);
+    out.e[static_cast<std::size_t>(k)] = v[0];
+    a(k, k + 1) = v[0];
+    for (index_t j = 1; j < rlen; ++j) a(k, k + 1 + j) = v[static_cast<std::size_t>(j)];
+    if (tau_r != CT(0)) {
+      // Apply from the right to rows k+1..n-1.
+      maybe_parallel(pool, n - k - 1, [&](index_t ii) {
+        const index_t i = k + 1 + ii;
+        CT dot = a(i, k + 1);
+        for (index_t j = 1; j < rlen; ++j) {
+          dot += a(i, k + 1 + j) * v[static_cast<std::size_t>(j)];
+        }
+        const CT f = tau_r * dot;
+        a(i, k + 1) -= f;
+        for (index_t j = 1; j < rlen; ++j) {
+          a(i, k + 1 + j) -= f * v[static_cast<std::size_t>(j)];
+        }
+      });
+    }
+  }
+  return out;
+}
+
+template <class T>
+std::vector<double> onestage_svdvals(ConstMatrixView<T> a, ka::ThreadPool* pool) {
+  using CT = compute_t<T>;
+  UNISVD_REQUIRE(a.rows() == a.cols(), "onestage_svdvals: matrix must be square");
+  const index_t n = a.rows();
+  Matrix<CT> work(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      work(i, j) = static_cast<CT>(a.at(i, j));
+    }
+  }
+  auto bd = bidiagonalize(work, pool);
+  auto sv = bidiag::bidiag_svd_qr(std::move(bd.d), std::move(bd.e));
+  std::vector<double> out(sv.size());
+  for (std::size_t i = 0; i < sv.size(); ++i) out[i] = static_cast<double>(sv[i]);
+  return out;
+}
+
+template Bidiagonal<float> bidiagonalize<float>(Matrix<float>&, ka::ThreadPool*);
+template Bidiagonal<double> bidiagonalize<double>(Matrix<double>&, ka::ThreadPool*);
+
+template std::vector<double> onestage_svdvals<Half>(ConstMatrixView<Half>,
+                                                    ka::ThreadPool*);
+template std::vector<double> onestage_svdvals<float>(ConstMatrixView<float>,
+                                                     ka::ThreadPool*);
+template std::vector<double> onestage_svdvals<double>(ConstMatrixView<double>,
+                                                      ka::ThreadPool*);
+
+}  // namespace unisvd::baseline

@@ -1,0 +1,39 @@
+#pragma once
+/// \file onestage.hpp
+/// One-stage SVD baseline: direct Householder bidiagonalization (gebd2 /
+/// gebrd family) followed by the Stage-3 bidiagonal QR iteration.
+///
+/// This is the algorithm class implemented by LAPACK gesvd and the vendor
+/// solvers the paper benchmarks against (cuSOLVER / rocSOLVER / oneMKL).
+/// Roughly half of its 8n^3/3 flops are BLAS2 (memory bound) — the
+/// structural reason the paper's two-stage, tile-based reduction wins on
+/// bandwidth-limited hardware at scale. Implemented here both as a real
+/// comparator algorithm and as the second accuracy reference for Table 1.
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/precision.hpp"
+#include "ka/thread_pool.hpp"
+
+namespace unisvd::baseline {
+
+/// Diagonal/superdiagonal of an upper bidiagonal matrix.
+template <class CT>
+struct Bidiagonal {
+  std::vector<CT> d;
+  std::vector<CT> e;
+};
+
+/// In-place Householder bidiagonalization of a square matrix (compute
+/// precision). Trailing updates are parallelized across the pool.
+template <class CT>
+Bidiagonal<CT> bidiagonalize(Matrix<CT>& a, ka::ThreadPool* pool = nullptr);
+
+/// Singular values (descending) by the one-stage algorithm, computed in
+/// compute_t<T> like the unified pipeline.
+template <class T>
+std::vector<double> onestage_svdvals(ConstMatrixView<T> a,
+                                     ka::ThreadPool* pool = nullptr);
+
+}  // namespace unisvd::baseline

@@ -1,0 +1,155 @@
+#pragma once
+/// \file bidiag_qr.hpp
+/// SVD Stage 3: singular values of an upper bidiagonal matrix by the
+/// Golub-Reinsch implicit-shift QR iteration (the algorithm family behind
+/// LAPACK's bdsqr, which the paper delegates to LAPACK).
+///
+/// Input: diagonal d (length n) and superdiagonal e (length n-1) in the
+/// compute precision CT; output: singular values, descending.
+///
+/// Robustness: reduced-precision iteration can stagnate on strongly graded
+/// spectra (observed in FP32 with clustered log-spaced values). When a
+/// block exhausts its sweep budget, the solver falls back to Sturm
+/// bisection on that block — an independent algorithm with guaranteed
+/// convergence — so the routine always completes.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "bidiag/bisection.hpp"
+#include "common/error.hpp"
+
+namespace unisvd::bidiag {
+
+template <class CT>
+std::vector<CT> bidiag_svd_qr(std::vector<CT> d, std::vector<CT> e) {
+  const auto n = static_cast<long>(d.size());
+  UNISVD_REQUIRE(n >= 1, "bidiag_svd_qr: empty input");
+  UNISVD_REQUIRE(e.size() + 1 == d.size(), "bidiag_svd_qr: e must have length n-1");
+  if (n == 1) {
+    d[0] = std::abs(d[0]);
+    return d;
+  }
+
+  // Internal layout follows the classic Golub-Reinsch formulation:
+  // rv1[i] couples w[i-1] and w[i]; rv1[0] is unused.
+  std::vector<CT>& w = d;
+  std::vector<CT> rv1(static_cast<std::size_t>(n), CT(0));
+  for (long i = 1; i < n; ++i) rv1[static_cast<std::size_t>(i)] = e[static_cast<std::size_t>(i - 1)];
+
+  const CT eps = std::numeric_limits<CT>::epsilon();
+  CT anorm = CT(0);
+  for (long i = 0; i < n; ++i) {
+    anorm = std::max(anorm, std::abs(w[static_cast<std::size_t>(i)]) +
+                                std::abs(rv1[static_cast<std::size_t>(i)]));
+  }
+  if (anorm == CT(0)) return std::vector<CT>(static_cast<std::size_t>(n), CT(0));
+
+  const auto at = [](std::vector<CT>& a, long i) -> CT& {
+    return a[static_cast<std::size_t>(i)];
+  };
+
+  constexpr int kMaxSweeps = 60;
+  for (long k = n - 1; k >= 0; --k) {
+    bool converged = false;
+    for (int its = 0; its < kMaxSweeps && !converged; ++its) {
+      bool flag = true;  // true: a negligible diagonal requires cancellation
+      long l = k;
+      for (; l >= 0; --l) {
+        if (l == 0 || std::abs(at(rv1, l)) <= eps * anorm) {
+          flag = false;
+          break;
+        }
+        if (std::abs(at(w, l - 1)) <= eps * anorm) break;
+      }
+      if (flag) {
+        // w[l-1] ~ 0 but rv1[l] != 0: rotate rv1[l..k] away (Givens from the
+        // left against the negligible diagonal).
+        CT c = CT(0);
+        CT s = CT(1);
+        for (long i = l; i <= k; ++i) {
+          const CT f = s * at(rv1, i);
+          at(rv1, i) = c * at(rv1, i);
+          if (std::abs(f) <= eps * anorm) break;
+          const CT g = at(w, i);
+          const CT h = std::hypot(f, g);
+          at(w, i) = h;
+          const CT inv = CT(1) / h;
+          c = g * inv;
+          s = -f * inv;
+        }
+      }
+      const CT z = at(w, k);
+      if (l == k) {  // block of size 1: converged
+        if (z < CT(0)) at(w, k) = -z;
+        converged = true;
+        break;
+      }
+      if (its == kMaxSweeps - 1) {
+        // Stagnation: resolve the active block [l, k] by bisection.
+        std::vector<double> bd;
+        std::vector<double> be;
+        for (long i = l; i <= k; ++i) {
+          bd.push_back(static_cast<double>(at(w, i)));
+          if (i > l) be.push_back(static_cast<double>(at(rv1, i)));
+        }
+        const auto vals = bidiag_svd_bisect(bd, be);  // descending
+        for (long i = l; i <= k; ++i) {
+          at(w, i) = static_cast<CT>(vals[static_cast<std::size_t>(i - l)]);
+          at(rv1, i) = CT(0);
+        }
+        converged = true;
+        break;
+      }
+
+      // Implicit QR step on [l, k] with Wilkinson-style shift from the
+      // trailing 2x2 of B^T B.
+      CT x = at(w, l);
+      const long nm = k - 1;
+      CT y = at(w, nm);
+      CT g = at(rv1, nm);
+      CT h = at(rv1, k);
+      CT f = ((y - z) * (y + z) + (g - h) * (g + h)) / (CT(2) * h * y);
+      g = std::hypot(f, CT(1));
+      const CT gs = (f >= CT(0)) ? std::abs(g) : -std::abs(g);
+      f = ((x - z) * (x + z) + h * ((y / (f + gs)) - h)) / x;
+      CT c = CT(1);
+      CT s = CT(1);
+      for (long j = l; j <= nm; ++j) {
+        const long i = j + 1;
+        g = at(rv1, i);
+        y = at(w, i);
+        h = s * g;
+        g = c * g;
+        CT zz = std::hypot(f, h);
+        at(rv1, j) = zz;
+        c = f / zz;
+        s = h / zz;
+        f = x * c + g * s;
+        g = g * c - x * s;
+        h = y * s;
+        y *= c;
+        zz = std::hypot(f, h);
+        at(w, j) = zz;
+        if (zz != CT(0)) {
+          const CT inv = CT(1) / zz;
+          c = f * inv;
+          s = h * inv;
+        }
+        f = c * g + s * y;
+        x = c * y - s * g;
+      }
+      at(rv1, l) = CT(0);
+      at(rv1, k) = f;
+      at(w, k) = x;
+    }
+  }
+
+  for (auto& v : w) v = std::abs(v);
+  std::sort(w.begin(), w.end(), std::greater<CT>());
+  return w;
+}
+
+}  // namespace unisvd::bidiag

@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace unisvd::detail {
+
+void throw_error(const char* file, int line, const std::string& message) {
+  std::ostringstream os;
+  os << message << " [" << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace unisvd::detail

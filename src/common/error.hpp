@@ -1,0 +1,35 @@
+#pragma once
+/// \file error.hpp
+/// Error handling for the unisvd library.
+///
+/// All precondition violations and unrecoverable numerical failures raise
+/// unisvd::Error (derived from std::runtime_error). Hot kernel paths never
+/// throw; validation happens at API boundaries (SvdConfig::validate, matrix
+/// ingestion) so that the inner loops stay branch-free.
+
+#include <stdexcept>
+#include <string>
+
+namespace unisvd {
+
+/// Exception type for all unisvd failures (bad arguments, invalid
+/// configurations, non-finite inputs, convergence failures).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace unisvd
+
+/// Validate a precondition at an API boundary; throws unisvd::Error with
+/// file/line context when the condition does not hold.
+#define UNISVD_REQUIRE(cond, message)                                       \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::unisvd::detail::throw_error(__FILE__, __LINE__, (message));         \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,14 @@
+#include "common/half.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace unisvd {
+
+Half sqrt(Half h) noexcept { return Half(std::sqrt(static_cast<float>(h))); }
+
+std::ostream& operator<<(std::ostream& os, Half h) {
+  return os << static_cast<float>(h);
+}
+
+}  // namespace unisvd

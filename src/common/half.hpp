@@ -1,0 +1,192 @@
+#pragma once
+/// \file half.hpp
+/// Software IEEE 754 binary16 ("half", FP16) scalar type.
+///
+/// The paper's headline type-portability claim includes FP16 storage; this
+/// environment has no hardware FP16, so we provide a complete software
+/// implementation: round-to-nearest-even conversions (including subnormals,
+/// infinities and NaN), arithmetic via FP32 (exactly the upcast-compute /
+/// downcast-store policy the paper describes for NVIDIA hardware, §4.3),
+/// comparisons, and a std::numeric_limits specialization.
+
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace unisvd {
+
+namespace detail {
+
+/// float -> binary16 bit pattern, IEEE round-to-nearest-even.
+constexpr std::uint16_t float_to_half_bits(float f) noexcept {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const auto sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t ax = x & 0x7FFFFFFFu;
+
+  if (ax >= 0x7F800000u) {  // Inf or NaN
+    const std::uint16_t nan_payload = ax > 0x7F800000u ? 0x0200u : 0x0000u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | nan_payload);
+  }
+
+  const int e = static_cast<int>(ax >> 23) - 127;  // unbiased exponent
+  if (e < -25) return sign;                        // below half of min subnormal: 0
+  if (e > 15) return static_cast<std::uint16_t>(sign | 0x7C00u);  // certain overflow
+
+  const std::uint32_t mant = (ax & 0x7FFFFFu) | 0x800000u;  // 24-bit significand
+  // Bits dropped: 13 for normals, more for subnormal targets (e < -14).
+  const int shift = (e >= -14) ? 13 : (13 + (-14 - e));
+  const std::uint32_t lsb = 1u << shift;
+  const std::uint32_t rounded =
+      (mant + (lsb >> 1) - 1u + ((mant >> shift) & 1u)) >> shift;
+
+  if (e >= -14) {  // normal target range
+    int he = e + 15;
+    std::uint32_t hm = rounded;
+    if (hm >= 0x800u) {  // mantissa overflow from rounding: 2.0 -> exponent+1
+      hm >>= 1;
+      ++he;
+    }
+    if (he >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(he) << 10) |
+                                      (hm & 0x3FFu));
+  }
+  // Subnormal target (may round up into the smallest normal: 0x400 == 2^-14).
+  return static_cast<std::uint16_t>(sign | rounded);
+}
+
+/// binary16 bit pattern -> float (exact; every half is representable).
+constexpr float half_bits_to_float(std::uint16_t h) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+
+  std::uint32_t out = 0;
+  if (exp == 0x1Fu) {  // Inf / NaN
+    out = sign | 0x7F800000u | (mant << 13);
+  } else if (exp != 0) {  // normal
+    out = sign | ((exp + 112u) << 23) | (mant << 13);
+  } else if (mant == 0) {  // +/- zero
+    out = sign;
+  } else {  // subnormal: renormalize into float
+    const int shift = 11 - std::bit_width(mant);
+    const std::uint32_t m = (mant << shift) & 0x3FFu;
+    const auto fe = static_cast<std::uint32_t>(113 - shift);
+    out = sign | (fe << 23) | (m << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace detail
+
+/// IEEE binary16 value type. Conversions to/from float are explicit on the
+/// constructor side (mirrors the narrowing) and implicit toward float so
+/// that mixed expressions compute in FP32, the paper's upcast policy.
+class Half {
+ public:
+  constexpr Half() noexcept = default;
+  constexpr explicit Half(float f) noexcept : bits_(detail::float_to_half_bits(f)) {}
+  constexpr explicit Half(double d) noexcept : Half(static_cast<float>(d)) {}
+  constexpr explicit Half(int i) noexcept : Half(static_cast<float>(i)) {}
+
+  /// Reinterpret a raw bit pattern as a Half.
+  static constexpr Half from_bits(std::uint16_t b) noexcept {
+    Half h;
+    h.bits_ = b;
+    return h;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const noexcept { return bits_; }
+  constexpr operator float() const noexcept { return detail::half_bits_to_float(bits_); }
+
+  constexpr Half operator-() const noexcept {
+    return from_bits(static_cast<std::uint16_t>(bits_ ^ 0x8000u));
+  }
+
+  Half& operator+=(Half o) noexcept { return *this = Half(float(*this) + float(o)); }
+  Half& operator-=(Half o) noexcept { return *this = Half(float(*this) - float(o)); }
+  Half& operator*=(Half o) noexcept { return *this = Half(float(*this) * float(o)); }
+  Half& operator/=(Half o) noexcept { return *this = Half(float(*this) / float(o)); }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+// Arithmetic between two halves rounds back to half (storage semantics).
+constexpr Half operator+(Half a, Half b) noexcept { return Half(float(a) + float(b)); }
+constexpr Half operator-(Half a, Half b) noexcept { return Half(float(a) - float(b)); }
+constexpr Half operator*(Half a, Half b) noexcept { return Half(float(a) * float(b)); }
+constexpr Half operator/(Half a, Half b) noexcept { return Half(float(a) / float(b)); }
+
+constexpr bool operator==(Half a, Half b) noexcept { return float(a) == float(b); }
+constexpr bool operator!=(Half a, Half b) noexcept { return float(a) != float(b); }
+constexpr bool operator<(Half a, Half b) noexcept { return float(a) < float(b); }
+constexpr bool operator>(Half a, Half b) noexcept { return float(a) > float(b); }
+constexpr bool operator<=(Half a, Half b) noexcept { return float(a) <= float(b); }
+constexpr bool operator>=(Half a, Half b) noexcept { return float(a) >= float(b); }
+
+constexpr bool isnan(Half h) noexcept {
+  return (h.bits() & 0x7FFFu) > 0x7C00u;
+}
+constexpr bool isinf(Half h) noexcept {
+  return (h.bits() & 0x7FFFu) == 0x7C00u;
+}
+constexpr bool isfinite(Half h) noexcept {
+  return (h.bits() & 0x7C00u) != 0x7C00u;
+}
+inline Half abs(Half h) noexcept {
+  return Half::from_bits(static_cast<std::uint16_t>(h.bits() & 0x7FFFu));
+}
+Half sqrt(Half h) noexcept;  // defined in half.cpp (uses <cmath>)
+
+std::ostream& operator<<(std::ostream& os, Half h);
+
+}  // namespace unisvd
+
+template <>
+struct std::numeric_limits<unisvd::Half> {
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr bool has_infinity = true;
+  static constexpr bool has_quiet_NaN = true;
+  static constexpr bool has_signaling_NaN = false;
+  static constexpr bool has_denorm = true;
+  static constexpr bool is_iec559 = true;
+  static constexpr bool is_bounded = true;
+  static constexpr bool is_modulo = false;
+  static constexpr int digits = 11;       // implicit bit + 10 stored
+  static constexpr int digits10 = 3;
+  static constexpr int max_digits10 = 5;
+  static constexpr int radix = 2;
+  static constexpr int min_exponent = -13;
+  static constexpr int min_exponent10 = -4;
+  static constexpr int max_exponent = 16;
+  static constexpr int max_exponent10 = 4;
+
+  static constexpr unisvd::Half min() noexcept {
+    return unisvd::Half::from_bits(0x0400);  // 2^-14
+  }
+  static constexpr unisvd::Half lowest() noexcept {
+    return unisvd::Half::from_bits(0xFBFF);  // -65504
+  }
+  static constexpr unisvd::Half max() noexcept {
+    return unisvd::Half::from_bits(0x7BFF);  // 65504
+  }
+  static constexpr unisvd::Half epsilon() noexcept {
+    return unisvd::Half::from_bits(0x1400);  // 2^-10
+  }
+  static constexpr unisvd::Half round_error() noexcept {
+    return unisvd::Half(0.5f);
+  }
+  static constexpr unisvd::Half infinity() noexcept {
+    return unisvd::Half::from_bits(0x7C00);
+  }
+  static constexpr unisvd::Half quiet_NaN() noexcept {
+    return unisvd::Half::from_bits(0x7E00);
+  }
+  static constexpr unisvd::Half denorm_min() noexcept {
+    return unisvd::Half::from_bits(0x0001);  // 2^-24
+  }
+};

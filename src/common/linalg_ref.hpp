@@ -1,0 +1,154 @@
+#pragma once
+/// \file linalg_ref.hpp
+/// Small reference linear-algebra helpers (double precision, unoptimized).
+///
+/// These are *not* on any performance path: they exist for test oracles,
+/// accuracy measurement (Frobenius-norm errors of Table 1) and example
+/// programs. All computations run in double regardless of storage type so
+/// that measurement noise never exceeds the quantity being measured.
+
+#include <cmath>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace unisvd::ref {
+
+/// C = A * B (logical views; respects lazy transposition).
+template <class T>
+Matrix<double> matmul(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  UNISVD_REQUIRE(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  Matrix<double> c(a.rows(), b.cols(), 0.0);
+  for (index_t j = 0; j < b.cols(); ++j) {
+    for (index_t k = 0; k < a.cols(); ++k) {
+      const double bkj = static_cast<double>(b.at(k, j));
+      if (bkj == 0.0) continue;
+      for (index_t i = 0; i < a.rows(); ++i) {
+        c(i, j) += static_cast<double>(a.at(i, k)) * bkj;
+      }
+    }
+  }
+  return c;
+}
+
+/// Frobenius norm of a view.
+template <class T>
+double fro_norm(ConstMatrixView<T> a) {
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double v = static_cast<double>(a.at(i, j));
+      s += v * v;
+    }
+  }
+  return std::sqrt(s);
+}
+
+/// || A - B ||_F over logical elements.
+template <class TA, class TB>
+double fro_diff(ConstMatrixView<TA> a, ConstMatrixView<TB> b) {
+  UNISVD_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "fro_diff: shape mismatch");
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double d =
+          static_cast<double>(a.at(i, j)) - static_cast<double>(b.at(i, j));
+      s += d * d;
+    }
+  }
+  return std::sqrt(s);
+}
+
+/// || Q^T Q - I ||_F : orthogonality defect of the columns of Q.
+template <class T>
+double orthogonality_defect(ConstMatrixView<T> q) {
+  const index_t n = q.cols();
+  double s = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      double dot = 0.0;
+      for (index_t k = 0; k < q.rows(); ++k) {
+        dot += static_cast<double>(q.at(k, i)) * static_cast<double>(q.at(k, j));
+      }
+      const double target = (i == j) ? 1.0 : 0.0;
+      s += (dot - target) * (dot - target);
+    }
+  }
+  return std::sqrt(s);
+}
+
+/// Relative Frobenius error between two descending singular value lists:
+/// || sigma - sigma_ref ||_2 / || sigma_ref ||_2  (the Table 1 metric).
+inline double rel_sv_error(const std::vector<double>& sigma,
+                           const std::vector<double>& sigma_ref) {
+  UNISVD_REQUIRE(sigma.size() == sigma_ref.size(), "rel_sv_error: length mismatch");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    const double d = sigma[i] - sigma_ref[i];
+    num += d * d;
+    den += sigma_ref[i] * sigma_ref[i];
+  }
+  return den == 0.0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+/// Copy any storage-typed view into a fresh double matrix.
+template <class T>
+Matrix<double> to_double(ConstMatrixView<T> a) {
+  Matrix<double> out(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      out(i, j) = static_cast<double>(a.at(i, j));
+    }
+  }
+  return out;
+}
+
+/// True when every element of the view is finite.
+template <class T>
+bool all_finite(ConstMatrixView<T> a) {
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      if (!std::isfinite(static_cast<double>(a.at(i, j)))) return false;
+    }
+  }
+  return true;
+}
+
+// Mutable-view conveniences: template argument deduction does not see the
+// MatrixView -> ConstMatrixView conversion, so forward explicitly.
+template <class TA, class TB>
+Matrix<double> matmul(MatrixView<TA> a, MatrixView<TB> b) {
+  return matmul(ConstMatrixView<TA>(a), ConstMatrixView<TB>(b));
+}
+template <class T>
+double fro_norm(MatrixView<T> a) {
+  return fro_norm(ConstMatrixView<T>(a));
+}
+template <class TA, class TB>
+double fro_diff(MatrixView<TA> a, MatrixView<TB> b) {
+  return fro_diff(ConstMatrixView<TA>(a), ConstMatrixView<TB>(b));
+}
+template <class TA, class TB>
+double fro_diff(ConstMatrixView<TA> a, MatrixView<TB> b) {
+  return fro_diff(a, ConstMatrixView<TB>(b));
+}
+template <class TA, class TB>
+double fro_diff(MatrixView<TA> a, ConstMatrixView<TB> b) {
+  return fro_diff(ConstMatrixView<TA>(a), b);
+}
+template <class T>
+double orthogonality_defect(MatrixView<T> q) {
+  return orthogonality_defect(ConstMatrixView<T>(q));
+}
+template <class T>
+Matrix<double> to_double(MatrixView<T> a) {
+  return to_double(ConstMatrixView<T>(a));
+}
+template <class T>
+bool all_finite(MatrixView<T> a) {
+  return all_finite(ConstMatrixView<T>(a));
+}
+
+}  // namespace unisvd::ref

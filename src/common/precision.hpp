@@ -1,0 +1,82 @@
+#pragma once
+/// \file precision.hpp
+/// Precision traits: the C++ analogue of the paper's Julia type-parameterized
+/// dispatch. Every kernel and pipeline stage is templated on a *storage* type
+/// T; the traits supply the matching *compute* type (FP16 stores, FP32
+/// computes — the upcast-at-compute / downcast-at-store policy of §4.3), the
+/// machine epsilon used by the small-reflector guard of Algorithm 3, and
+/// human-readable names for reports.
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/half.hpp"
+
+namespace unisvd {
+
+/// Enumeration used where precision must be carried as a runtime value
+/// (device tuning tables, benchmark reports).
+enum class Precision { FP16, FP32, FP64 };
+
+[[nodiscard]] constexpr std::string_view to_string(Precision p) noexcept {
+  switch (p) {
+    case Precision::FP16: return "FP16";
+    case Precision::FP32: return "FP32";
+    case Precision::FP64: return "FP64";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::size_t bytes_of(Precision p) noexcept {
+  switch (p) {
+    case Precision::FP16: return 2;
+    case Precision::FP32: return 4;
+    case Precision::FP64: return 8;
+  }
+  return 0;
+}
+
+template <class T>
+struct precision_traits;
+
+template <>
+struct precision_traits<Half> {
+  /// Compute type: FP16 storage computes in FP32 (paper §4.3: "FP16 inputs
+  /// are upcast to FP32 during computation and downcast at storage time").
+  using compute_t = float;
+  static constexpr Precision kind = Precision::FP16;
+  static constexpr std::string_view name = "FP16";
+  /// Machine epsilon of the *storage* format (drives accuracy expectations).
+  static constexpr double storage_eps = 9.765625e-04;  // 2^-10
+};
+
+template <>
+struct precision_traits<float> {
+  using compute_t = float;
+  static constexpr Precision kind = Precision::FP32;
+  static constexpr std::string_view name = "FP32";
+  static constexpr double storage_eps = 1.1920928955078125e-07;  // 2^-23
+};
+
+template <>
+struct precision_traits<double> {
+  using compute_t = double;
+  static constexpr Precision kind = Precision::FP64;
+  static constexpr std::string_view name = "FP64";
+  static constexpr double storage_eps = 2.220446049250313e-16;  // 2^-52
+};
+
+template <class T>
+using compute_t = typename precision_traits<T>::compute_t;
+
+template <class T>
+inline constexpr Precision precision_of = precision_traits<T>::kind;
+
+/// Machine epsilon of the compute type: the `eps` in the |x| < 10*eps
+/// small-reflector guard of Algorithm 3 lines 14-15.
+template <class CT>
+[[nodiscard]] constexpr CT compute_eps() noexcept {
+  return std::numeric_limits<CT>::epsilon();
+}
+
+}  // namespace unisvd

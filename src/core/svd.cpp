@@ -1,0 +1,136 @@
+#include "core/svd.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "band/band_matrix.hpp"
+#include "bidiag/bidiag_qr.hpp"
+#include "common/half.hpp"
+#include "common/linalg_ref.hpp"
+#include "qr/band_reduction.hpp"
+#include "tile/tile_layout.hpp"
+
+namespace unisvd {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Largest absolute element (in double, any storage type).
+template <class T>
+double max_abs(ConstMatrixView<T> a) {
+  double mx = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      mx = std::max(mx, std::abs(static_cast<double>(a.at(i, j))));
+    }
+  }
+  return mx;
+}
+
+/// Copy src into the top-left of dst, dividing by `scale` in compute
+/// precision (the auto_scale path; scale == 1 is a plain copy).
+template <class T>
+void copy_scaled(ConstMatrixView<T> src, Matrix<T>& dst, double scale) {
+  using CT = compute_t<T>;
+  const auto s = static_cast<CT>(scale);
+  for (index_t j = 0; j < src.cols(); ++j) {
+    for (index_t i = 0; i < src.rows(); ++i) {
+      dst(i, j) = scale == 1.0
+                      ? src.at(i, j)
+                      : static_cast<T>(static_cast<CT>(src.at(i, j)) / s);
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
+                            ka::Backend& backend) {
+  using CT = compute_t<T>;
+  config.validate();
+  UNISVD_REQUIRE(a.rows() >= 1 && a.cols() >= 1, "svd_values: matrix must be non-empty");
+  UNISVD_REQUIRE(backend.executes(), "svd_values: backend does not execute kernels");
+  if (config.check_finite) {
+    UNISVD_REQUIRE(ref::all_finite(a), "svd_values: input contains NaN or Inf");
+  }
+
+  // Operate on the tall orientation: sigma(A) == sigma(A^T), and the lazy
+  // transpose makes the wide case free.
+  const ConstMatrixView<T> at = a.rows() >= a.cols() ? a : a.transposed();
+  const index_t m = at.rows();
+  const index_t n = at.cols();
+
+  SvdReport rep;
+  if (config.auto_scale) {
+    const double amax = max_abs(at);
+    if (amax > 0.0 && (amax > 4.0 || amax < 0.25)) {
+      rep.scale_factor = amax;
+    }
+  }
+
+  const int ts = config.kernels.tilesize;
+  const auto col_layout = tile::TileLayout::make(n, ts);
+  rep.padded_n = col_layout.n;
+
+  // Square working matrix for the two-stage reduction. Zero padding to the
+  // tile grid adds exactly (padded - n) zero singular values, dropped after
+  // the descending sort.
+  Matrix<T> square(col_layout.n, col_layout.n, T(0));
+
+  if (m == n) {
+    copy_scaled(at, square, rep.scale_factor);
+  } else {
+    // Tall input: tiled QR first (same kernels), then reduce R.
+    const auto row_layout = tile::TileLayout::make(m, ts);
+    Matrix<T> work(row_layout.n, col_layout.n, T(0));
+    copy_scaled(at, work, rep.scale_factor);
+    Matrix<T> qr_tau(row_layout.ntiles, ts, T(0));
+    qr::tall_qr<T>(backend, work.view(), qr_tau.view(), config.kernels,
+                   &rep.stage_times);
+    for (index_t j = 0; j < col_layout.n; ++j) {  // R = upper triangle
+      for (index_t i = 0; i <= j; ++i) {
+        square(i, j) = work(i, j);
+      }
+    }
+  }
+
+  // Stage 1: dense -> band (tiled QR/LQ sweeps on the backend).
+  Matrix<T> tau(col_layout.ntiles, ts, T(0));
+  qr::band_reduction<T>(backend, square.view(), tau.view(), config.kernels,
+                        &rep.stage_times);
+
+  // Stage 2: band -> bidiagonal (Givens bulge chasing, compute precision).
+  auto t0 = std::chrono::steady_clock::now();
+  auto bandm = band::extract_band<T>(square.view(), ts);
+  std::vector<CT> d;
+  std::vector<CT> e;
+  rep.chase_stats = band::band_to_bidiag(bandm, d, e);
+  rep.stage_times.add(ka::Stage::BandToBidiagonal, seconds_since(t0));
+
+  // Stage 3: bidiagonal -> singular values (implicit-shift QR iteration,
+  // Sturm-bisection fallback on stagnating blocks).
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<CT> sv = bidiag::bidiag_svd_qr(std::move(d), std::move(e));
+  rep.stage_times.add(ka::Stage::BidiagonalToDiagonal, seconds_since(t0));
+
+  rep.values.assign(sv.begin(), sv.end());           // already descending
+  rep.values.resize(static_cast<std::size_t>(n));    // drop padding zeros
+  if (rep.scale_factor != 1.0) {
+    for (auto& v : rep.values) v *= rep.scale_factor;
+  }
+  return rep;
+}
+
+template SvdReport svd_values_report<Half>(ConstMatrixView<Half>, const SvdConfig&,
+                                           ka::Backend&);
+template SvdReport svd_values_report<float>(ConstMatrixView<float>, const SvdConfig&,
+                                            ka::Backend&);
+template SvdReport svd_values_report<double>(ConstMatrixView<double>, const SvdConfig&,
+                                             ka::Backend&);
+
+}  // namespace unisvd

@@ -1,0 +1,78 @@
+#pragma once
+/// \file svd.hpp
+/// The unified public API: singular values of a dense square matrix,
+/// across storage precisions (FP16/FP32/FP64) and execution backends —
+/// the C++ counterpart of the paper's type- and hardware-agnostic
+/// `svdvals` built on Algorithms 1-5.
+///
+/// Pipeline: pad to a TILESIZE multiple -> Stage 1 tiled QR/LQ band
+/// reduction (GPU-model kernels on the selected backend) -> Stage 2 Givens
+/// bulge chasing to bidiagonal -> Stage 3 bidiagonal QR iteration. FP16
+/// inputs compute in FP32 and round at stores (the paper's upcast policy).
+///
+/// Usage:
+///   unisvd::Matrix<float> a = ...;
+///   std::vector<float> sigma = unisvd::svd_values(a.view());
+
+#include <vector>
+
+#include "band/band_to_bidiag.hpp"
+#include "common/matrix.hpp"
+#include "common/precision.hpp"
+#include "ka/backend.hpp"
+#include "ka/stage_times.hpp"
+#include "qr/kernel_config.hpp"
+
+namespace unisvd {
+
+/// Options of the unified solver.
+struct SvdConfig {
+  /// Phase-1 kernel hyperparameters (paper §3.3). Defaults suit the CPU
+  /// backend; see sim::tuned_kernel_config for the per-GPU tables and
+  /// core/tuner.hpp for empirical autotuning.
+  qr::KernelConfig kernels;
+  /// Reject non-finite inputs up front (recommended; the reduction would
+  /// otherwise propagate NaNs silently).
+  bool check_finite = true;
+  /// Pre-scale the input so its largest magnitude is ~1 and rescale the
+  /// singular values on output. Implements the paper's future-work item
+  /// "default rescaling for matrices with singular values outside the
+  /// target precision range" — essential for FP16, whose storage saturates
+  /// at 65504. Off by default to match the paper's baseline behaviour.
+  bool auto_scale = false;
+
+  void validate() const { kernels.validate(); }
+};
+
+/// Result with diagnostics (per-stage wall clock feeds Figure 6).
+struct SvdReport {
+  std::vector<double> values;   ///< singular values, descending, min(m,n)
+  ka::StageTimes stage_times;   ///< wall clock per pipeline stage
+  band::ChaseStats chase_stats; ///< Stage-2 rotation counts
+  index_t padded_n = 0;         ///< square working extent after padding
+  double scale_factor = 1.0;    ///< auto_scale divisor applied to the input
+};
+
+/// Singular values with per-stage diagnostics. Rectangular inputs are
+/// supported: wide matrices run on the lazy transpose (sigma(A) ==
+/// sigma(A^T)); tall matrices are first reduced to square triangular form
+/// by a tiled tall QR built from the same GEQRT/TSQRT/UNMQR/TSMQR kernels.
+template <class T>
+SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config = {},
+                            ka::Backend& backend = ka::default_backend());
+
+/// Singular values (descending, min(m,n) of them), returned in the storage
+/// precision — the unified `svdvals`. Throws unisvd::Error for empty or
+/// (by default) non-finite inputs.
+template <class T>
+std::vector<T> svd_values(ConstMatrixView<T> a, const SvdConfig& config = {},
+                          ka::Backend& backend = ka::default_backend()) {
+  const SvdReport rep = svd_values_report(a, config, backend);
+  std::vector<T> out(rep.values.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<T>(rep.values[i]);
+  }
+  return out;
+}
+
+}  // namespace unisvd

@@ -1,0 +1,81 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/half.hpp"
+#include "qr/band_reduction.hpp"
+#include "rand/matrix_gen.hpp"
+#include "tile/tile_layout.hpp"
+
+namespace unisvd::core {
+
+std::vector<qr::KernelConfig> default_candidates(index_t n) {
+  std::vector<qr::KernelConfig> out;
+  for (int ts : {16, 32, 64}) {
+    if (ts > n) continue;
+    for (int cpb : {8, 16, 32}) {
+      if (cpb > ts) continue;
+      qr::KernelConfig cfg;
+      cfg.tilesize = ts;
+      cfg.colperblock = cpb;
+      cfg.splitk = 1;  // CPU emulation gains nothing from split reductions
+      cfg.fused = true;
+      out.push_back(cfg);
+    }
+  }
+  if (out.empty()) {
+    qr::KernelConfig cfg;
+    cfg.tilesize = 8;
+    cfg.colperblock = 8;
+    out.push_back(cfg);
+  }
+  return out;
+}
+
+template <class T>
+TuneResult autotune(ka::Backend& backend, index_t n,
+                    std::vector<qr::KernelConfig> candidates, int repeats,
+                    std::uint64_t seed) {
+  UNISVD_REQUIRE(backend.executes(), "autotune: backend must execute kernels");
+  if (candidates.empty()) candidates = default_candidates(n);
+  UNISVD_REQUIRE(repeats >= 1, "autotune: repeats must be positive");
+
+  rnd::Xoshiro256 rng(seed);
+  const Matrix<double> probe = rnd::gaussian_matrix(n, n, rng);
+
+  TuneResult result;
+  for (const auto& cfg : candidates) {
+    cfg.validate();
+    const auto layout = tile::TileLayout::make(n, cfg.tilesize);
+    double best = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      Matrix<T> work(layout.n, layout.n, T(0));
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < n; ++i) {
+          work(i, j) = static_cast<T>(probe(i, j));
+        }
+      }
+      Matrix<T> tau(layout.ntiles, cfg.tilesize, T(0));
+      const auto t0 = std::chrono::steady_clock::now();
+      qr::band_reduction<T>(backend, work.view(), tau.view(), cfg);
+      const double dt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      best = (r == 0) ? dt : std::min(best, dt);
+    }
+    result.all.push_back(TuneEntry{cfg, best});
+  }
+  std::sort(result.all.begin(), result.all.end(),
+            [](const TuneEntry& a, const TuneEntry& b) { return a.seconds < b.seconds; });
+  result.best = result.all.front().config;
+  return result;
+}
+
+template TuneResult autotune<Half>(ka::Backend&, index_t, std::vector<qr::KernelConfig>,
+                                   int, std::uint64_t);
+template TuneResult autotune<float>(ka::Backend&, index_t, std::vector<qr::KernelConfig>,
+                                    int, std::uint64_t);
+template TuneResult autotune<double>(ka::Backend&, index_t,
+                                     std::vector<qr::KernelConfig>, int, std::uint64_t);
+
+}  // namespace unisvd::core

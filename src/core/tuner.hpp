@@ -1,0 +1,40 @@
+#pragma once
+/// \file tuner.hpp
+/// Empirical hyperparameter autotuning (paper §3.3: "a brute-force
+/// hyperparameter search was conducted to identify optimal values").
+///
+/// For GPU device models the tuned tables live in sim/tuning.hpp; this
+/// tuner measures REAL executions on an executing backend (e.g. the CPU
+/// backend) and picks the fastest Phase-1 configuration — the same
+/// procedure the paper runs per hardware/precision combination.
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/precision.hpp"
+#include "ka/backend.hpp"
+#include "qr/kernel_config.hpp"
+
+namespace unisvd::core {
+
+struct TuneEntry {
+  qr::KernelConfig config;
+  double seconds = 0.0;
+};
+
+struct TuneResult {
+  qr::KernelConfig best;
+  std::vector<TuneEntry> all;  ///< every measured candidate, fastest first
+};
+
+/// Default candidate grid (TILESIZE x COLPERBLOCK x SPLITK, fused).
+[[nodiscard]] std::vector<qr::KernelConfig> default_candidates(index_t n);
+
+/// Measure Phase-1 (band reduction) on a random n x n matrix of type T for
+/// every candidate and return them ranked. `repeats` runs are averaged.
+template <class T>
+[[nodiscard]] TuneResult autotune(ka::Backend& backend, index_t n,
+                                  std::vector<qr::KernelConfig> candidates = {},
+                                  int repeats = 1, std::uint64_t seed = 42);
+
+}  // namespace unisvd::core

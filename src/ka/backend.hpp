@@ -1,0 +1,111 @@
+#pragma once
+/// \file backend.hpp
+/// Backend interface: where a kernel launch goes.
+///
+/// The paper's unified function takes a `backend` argument selecting the
+/// hardware (Algorithm 2). Here a Backend either executes workgroups (the
+/// serial reference backend or the multithreaded CPU backend) or records
+/// the launch without executing it (the trace backend used to generate
+/// analytic schedules for the GPU performance model at sizes far beyond
+/// what is worth executing). Any backend can additionally carry a
+/// TraceRecorder so real executions produce the same LaunchRecord stream —
+/// the equality of the two streams is tested.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "ka/launch.hpp"
+#include "ka/thread_pool.hpp"
+#include "ka/workgroup.hpp"
+
+namespace unisvd::ka {
+
+/// Ordered record of every launch submitted to a backend.
+class TraceRecorder {
+ public:
+  void record(const LaunchDesc& d) {
+    std::lock_guard lock(mutex_);
+    records_.push_back(d);
+  }
+  void clear() {
+    std::lock_guard lock(mutex_);
+    records_.clear();
+  }
+  [[nodiscard]] const std::vector<LaunchDesc>& records() const noexcept { return records_; }
+
+ private:
+  std::mutex mutex_;
+  std::vector<LaunchDesc> records_;
+};
+
+/// A kernel body: runs once per workgroup.
+using Kernel = std::function<void(WorkGroupCtx&)>;
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// True when launches actually execute (false for the trace backend —
+  /// callers may then pass views over null data).
+  [[nodiscard]] virtual bool executes() const noexcept { return true; }
+
+  /// Submit one kernel launch. Blocking: on return all workgroups ran.
+  void launch(const LaunchDesc& desc, const Kernel& kernel) {
+    if (trace_ != nullptr) trace_->record(desc);
+    do_launch(desc, kernel);
+  }
+
+  /// Attach (or detach with nullptr) a launch recorder.
+  void set_trace(TraceRecorder* t) noexcept { trace_ = t; }
+
+ protected:
+  virtual void do_launch(const LaunchDesc& desc, const Kernel& kernel) = 0;
+
+ private:
+  TraceRecorder* trace_ = nullptr;
+};
+
+/// Reference backend: every workgroup on the calling thread, in order.
+class SerialBackend final : public Backend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "serial"; }
+
+ protected:
+  void do_launch(const LaunchDesc& desc, const Kernel& kernel) override;
+};
+
+/// Multithreaded CPU backend: workgroups distributed across a thread pool.
+/// Work-items of one group stay on one thread (they share private memory),
+/// so results are bitwise identical to the serial backend.
+class CpuBackend final : public Backend {
+ public:
+  explicit CpuBackend(unsigned num_threads = 0);
+  [[nodiscard]] std::string_view name() const noexcept override { return "cpu"; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+ protected:
+  void do_launch(const LaunchDesc& desc, const Kernel& kernel) override;
+
+ private:
+  ThreadPool pool_;
+};
+
+/// Records launches without executing them: generates analytic schedules.
+class TraceBackend final : public Backend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "trace"; }
+  [[nodiscard]] bool executes() const noexcept override { return false; }
+
+ protected:
+  void do_launch(const LaunchDesc&, const Kernel&) override {}
+};
+
+/// Process-wide default execution backend (CPU, all cores).
+[[nodiscard]] Backend& default_backend();
+
+}  // namespace unisvd::ka

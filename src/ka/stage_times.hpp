@@ -1,0 +1,46 @@
+#pragma once
+/// \file stage_times.hpp
+/// Wall-clock attribution of pipeline stages (data source for Figure 6).
+
+#include <array>
+#include <chrono>
+
+#include "ka/backend.hpp"
+#include "ka/launch.hpp"
+
+namespace unisvd::ka {
+
+/// Accumulated seconds per pipeline stage.
+class StageTimes {
+ public:
+  void add(Stage s, double seconds) noexcept {
+    seconds_[static_cast<std::size_t>(s)] += seconds;
+  }
+  [[nodiscard]] double get(Stage s) const noexcept {
+    return seconds_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double total() const noexcept {
+    double t = 0.0;
+    for (double s : seconds_) t += s;
+    return t;
+  }
+  void reset() noexcept { seconds_.fill(0.0); }
+
+ private:
+  std::array<double, 4> seconds_{};
+};
+
+/// Launch with optional per-stage wall-clock accounting.
+inline void timed_launch(Backend& be, const LaunchDesc& desc, const Kernel& kernel,
+                         StageTimes* times) {
+  if (times == nullptr) {
+    be.launch(desc, kernel);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  be.launch(desc, kernel);
+  const auto t1 = std::chrono::steady_clock::now();
+  times->add(desc.stage, std::chrono::duration<double>(t1 - t0).count());
+}
+
+}  // namespace unisvd::ka

@@ -1,0 +1,93 @@
+#include "ka/thread_pool.hpp"
+
+namespace unisvd::ka {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const unsigned spawned = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(spawned);
+  for (unsigned t = 0; t < spawned; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = current_;  // shared ownership keeps the job alive for stragglers
+    }
+    if (job) {
+      run_job(*job);
+    }
+  }
+}
+
+void ThreadPool::run_job(Job& job) {
+  for (;;) {
+    const index_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      // Take the pool mutex before notifying: guarantees the waiter is
+      // either not yet blocked (and will see done == n under the lock) or
+      // already blocked (and receives this notification). Prevents the
+      // classic lost-wakeup between predicate check and sleep.
+      { std::lock_guard lock(mutex_); }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (index_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  {
+    std::lock_guard lock(mutex_);
+    current_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  run_job(*job);  // the calling thread participates
+
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock,
+                  [&] { return job->done.load(std::memory_order_acquire) == job->n; });
+    current_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace unisvd::ka

@@ -1,0 +1,68 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Minimal blocking thread pool with a parallel_for primitive.
+///
+/// The CPU backend maps workgroups onto pool threads; work-items within a
+/// workgroup stay on one thread (they share "registers"), so the pool only
+/// needs a flat index-space parallel_for with dynamic chunking.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace unisvd::ka {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = hardware concurrency). The calling
+  /// thread of parallel_for participates, so `num_threads - 1` are spawned.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (spawned workers + the calling thread).
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(i) for every i in [0, n), distributing dynamically across the
+  /// pool plus the calling thread. Blocks until all iterations finish.
+  /// Exceptions from fn propagate to the caller (first one wins).
+  void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+
+ private:
+  /// One parallel_for invocation. Heap-held via shared_ptr so that a
+  /// straggler worker that merely observes "no work left" can never touch a
+  /// destroyed job.
+  struct Job {
+    const std::function<void(index_t)>* fn = nullptr;
+    std::atomic<index_t> next{0};
+    std::atomic<index_t> done{0};
+    index_t n = 0;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  void run_job(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> current_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace unisvd::ka

@@ -1,0 +1,140 @@
+#pragma once
+/// \file workgroup.hpp
+/// The portable kernel programming model (CPU realization).
+///
+/// Kernels are written once against this model and run on every backend —
+/// the C++ equivalent of the paper's KernelAbstractions.jl kernels:
+///
+///   * a kernel body executes once per *workgroup*;
+///   * `wg.items(f)` runs `f(item)` for every work-item of the group; the
+///     *return* from items() is the barrier (`@synchronize` in Algorithm 5).
+///     This is the standard loop-splitting transform for executing SIMT
+///     kernels with barriers on CPUs — no fibers needed, fully deterministic;
+///   * `wg.local<T>(n)` allocates workgroup-shared memory (`@localmem`);
+///   * `wg.priv<T>(n)` allocates a per-item private array (`@private`,
+///     the "registers" of Algorithms 3-5), persistent across phases.
+///
+/// Allocations must happen before the first items() phase (as in the Julia
+/// kernels, where @localmem/@private appear at the top of the kernel).
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+
+namespace unisvd::ka {
+
+/// Reusable byte arena backing local and private memory for one worker
+/// thread. Chunked: growing the arena adds a new block and NEVER moves
+/// previously returned memory (live spans stay valid for the whole
+/// workgroup). Reset between workgroups; blocks are retained, so
+/// steady-state execution performs no allocation.
+class Scratch {
+ public:
+  void reset() noexcept {
+    for (auto& b : blocks_) b.used = 0;
+    cursor_ = 0;
+  }
+
+  /// Bump-allocate `bytes` with 64-byte alignment.
+  [[nodiscard]] void* allocate(std::size_t bytes) {
+    for (; cursor_ < blocks_.size(); ++cursor_) {
+      auto& b = blocks_[cursor_];
+      const std::size_t aligned = (b.used + 63) & ~std::size_t{63};
+      if (aligned + bytes <= b.size) {
+        b.used = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+    }
+    const std::size_t grow = std::max<std::size_t>(
+        bytes, blocks_.empty() ? std::size_t{1} << 16 : blocks_.back().size * 2);
+    blocks_.push_back(Block{AlignedPtr(static_cast<std::byte*>(
+                                ::operator new(grow, std::align_val_t{64}))),
+                            grow, bytes});
+    cursor_ = blocks_.size() - 1;
+    return blocks_.back().data.get();
+  }
+
+ private:
+  struct AlignedDelete {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete(p, std::align_val_t{64});
+    }
+  };
+  using AlignedPtr = std::unique_ptr<std::byte, AlignedDelete>;
+  struct Block {
+    AlignedPtr data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  std::vector<Block> blocks_;
+  std::size_t cursor_ = 0;
+};
+
+class WorkGroupCtx;
+
+/// Per-item private array: models the register file. `p(item)` yields the
+/// span owned by that work-item; contents persist across items() phases.
+template <class T>
+class PrivateArray {
+ public:
+  PrivateArray() = default;
+  PrivateArray(T* base, std::size_t per_item) noexcept
+      : base_(base), per_item_(per_item) {}
+
+  [[nodiscard]] std::span<T> operator()(int item) const noexcept {
+    return {base_ + static_cast<std::size_t>(item) * per_item_, per_item_};
+  }
+
+ private:
+  T* base_ = nullptr;
+  std::size_t per_item_ = 0;
+};
+
+/// Execution context of one workgroup.
+class WorkGroupCtx {
+ public:
+  WorkGroupCtx(index_t group_id, int group_size, Scratch& scratch) noexcept
+      : group_id_(group_id), group_size_(group_size), scratch_(scratch) {}
+
+  [[nodiscard]] index_t group_id() const noexcept { return group_id_; }
+  [[nodiscard]] int size() const noexcept { return group_size_; }
+
+  /// Workgroup-shared memory (the `@localmem` of Algorithm 5).
+  template <class T>
+  [[nodiscard]] std::span<T> local(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto* p = static_cast<T*>(scratch_.allocate(n * sizeof(T)));
+    return {p, n};
+  }
+
+  /// Per-item private memory (the `@private` of Algorithm 5).
+  template <class T>
+  [[nodiscard]] PrivateArray<T> priv(std::size_t per_item) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto* p = static_cast<T*>(
+        scratch_.allocate(per_item * sizeof(T) * static_cast<std::size_t>(group_size_)));
+    return PrivateArray<T>(p, per_item);
+  }
+
+  /// Run `body(item)` for every work-item; returning is the barrier.
+  template <class F>
+  void items(F&& body) {
+    for (int i = 0; i < group_size_; ++i) {
+      body(i);
+    }
+  }
+
+ private:
+  index_t group_id_;
+  int group_size_;
+  Scratch& scratch_;
+};
+
+}  // namespace unisvd::ka

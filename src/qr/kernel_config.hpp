@@ -1,0 +1,88 @@
+#pragma once
+/// \file kernel_config.hpp
+/// Hyperparameters of the Phase-1 kernels (paper §3.3) and their
+/// validation rules, plus the analytic cost formulas attached to every
+/// launch (consumed by the GPU performance model).
+
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+
+namespace unisvd::qr {
+
+/// The three hyperparameters of the paper plus the fusion switch.
+///
+/// TILESIZE is *algorithmic* (changes the dependency graph and tile grid);
+/// COLPERBLOCK and SPLITK are *computational* (same operations, different
+/// parallel decomposition). `fused` selects the FTSQRT/FTSMQR kernels of
+/// Figure 2 (one launch per panel) over per-row launches.
+struct KernelConfig {
+  int tilesize = 32;
+  int colperblock = 32;
+  int splitk = 1;
+  bool fused = true;
+
+  void validate() const {
+    UNISVD_REQUIRE(tilesize >= 4 && tilesize <= 256,
+                   "KernelConfig: TILESIZE must be in [4, 256]");
+    UNISVD_REQUIRE(splitk >= 1 && tilesize % splitk == 0,
+                   "KernelConfig: SPLITK must divide TILESIZE");
+    UNISVD_REQUIRE(colperblock >= 1 && colperblock <= tilesize &&
+                       tilesize % colperblock == 0,
+                   "KernelConfig: COLPERBLOCK must divide TILESIZE");
+    UNISVD_REQUIRE(static_cast<long>(tilesize) * splitk <= 1024,
+                   "KernelConfig: TILESIZE x SPLITK exceeds the 1024-thread "
+                   "workgroup limit");
+  }
+};
+
+/// Analytic per-launch costs. `S` is sizeof(storage element), `ts` the tile
+/// size. Flop counts keep the leading terms only; they feed the performance
+/// model, which is calibrated at the shape level, not the ULP level.
+namespace cost {
+
+inline double geqrt_flops(int ts) { return (4.0 / 3.0) * ts * ts * double(ts); }
+inline double geqrt_bytes_r(int ts, std::size_t S) { return double(ts) * ts * S; }
+inline double geqrt_bytes_w(int ts, std::size_t S) {
+  return double(ts) * ts * S + double(ts) * S;
+}
+
+inline double tsqrt_flops(int ts, index_t nrows) {
+  return 2.0 * ts * ts * double(ts) * double(nrows);
+}
+inline double tsqrt_bytes_r(int ts, index_t nrows, std::size_t S) {
+  return (2.0 * double(nrows) + 1.0) * ts * ts * S;  // B tiles in/out + R in
+}
+inline double tsqrt_bytes_w(int ts, index_t nrows, std::size_t S) {
+  return (double(nrows) + 1.0) * ts * ts * S + double(nrows) * ts * S;
+}
+
+inline double unmqr_flops(int ts, index_t ncols) {
+  return 2.0 * double(ts) * ts * double(ncols);
+}
+inline double unmqr_bytes_r(int ts, index_t ncols, index_t wgs, std::size_t S) {
+  // X columns + reflector tile re-staged by every workgroup + tau
+  return double(ncols) * ts * S + double(wgs) * ts * ts * S + double(wgs) * ts * S;
+}
+inline double unmqr_bytes_w(int ts, index_t ncols, std::size_t S) {
+  return double(ncols) * ts * S;
+}
+
+inline double tsmqr_flops(int ts, index_t nrows, index_t ncols) {
+  return 4.0 * double(ts) * ts * double(ncols) * double(nrows);
+}
+inline double tsmqr_bytes_r(int ts, index_t nrows, index_t ncols, index_t wgs,
+                            std::size_t S) {
+  // Top row once per workgroup-set; bottom rows; V tiles and tau re-staged
+  // per workgroup per row.
+  return double(ncols) * ts * S + double(nrows) * ncols * ts * S +
+         double(wgs) * nrows * ts * ts * S + double(wgs) * nrows * ts * S;
+}
+inline double tsmqr_bytes_w(int ts, index_t nrows, index_t ncols, std::size_t S) {
+  return double(ncols) * ts * S + double(nrows) * ncols * ts * S;
+}
+
+}  // namespace cost
+
+}  // namespace unisvd::qr

@@ -1,0 +1,98 @@
+#pragma once
+/// \file unmqr.hpp
+/// UNMQR: apply GEQRT reflectors to a tile row (paper Algorithm 4).
+///
+/// Massively parallel trailing update: each work-item owns one column of
+/// the trailing tiles in registers; COLPERBLOCK work-items form a
+/// workgroup. The tau_hat vector and each Householder column are staged
+/// into local memory cooperatively, then every column applies the
+/// reflector independently (BLAS3-like parallelism).
+///
+/// NOTE (paper erratum): Algorithm 4 line 11 prints `X_i[k:] -= rho`,
+/// which combined with line 12 would update X_i[k+1:] twice. The correct
+/// Householder application — and what the Julia kernel of Algorithm 5
+/// computes — is X_i[k] -= rho; X_i[k+1:] -= rho * A_k[k+1:]. We implement
+/// the correct form.
+
+#include "common/matrix.hpp"
+#include "common/precision.hpp"
+#include "ka/backend.hpp"
+#include "ka/stage_times.hpp"
+#include "qr/kernel_config.hpp"
+
+namespace unisvd::qr {
+
+/// Apply Q^T of GEQRT(tile (row0, k)) to tiles (row0, j), j in [jbegin, jend).
+template <class T>
+void unmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
+           index_t jbegin, index_t jend, MatrixView<T> Tau,
+           const KernelConfig& cfg, ka::StageTimes* times = nullptr) {
+  using CT = compute_t<T>;
+  const int ts = cfg.tilesize;
+  const int cpb = cfg.colperblock;
+  const index_t ncols = (jend - jbegin) * ts;
+  if (ncols <= 0) return;
+  const index_t wgs = (ncols + cpb - 1) / cpb;
+  const index_t rbase = row0 * ts;
+  const index_t cbase = k * ts;
+  const index_t col0 = jbegin * ts;
+  const index_t colend = jend * ts;
+
+  ka::LaunchDesc desc;
+  desc.name = "unmqr";
+  desc.stage = ka::Stage::TrailingUpdate;
+  desc.num_groups = wgs;
+  desc.group_size = cpb;
+  desc.local_bytes = static_cast<std::size_t>(2 * ts) * sizeof(CT);
+  desc.private_bytes_per_item = static_cast<std::size_t>(ts + 1) * sizeof(CT);
+  desc.precision = precision_of<T>;
+  desc.cost.flops = cost::unmqr_flops(ts, ncols);
+  desc.cost.bytes_read = cost::unmqr_bytes_r(ts, ncols, wgs, sizeof(T));
+  desc.cost.bytes_written = cost::unmqr_bytes_w(ts, ncols, sizeof(T));
+  desc.cost.serial_iterations = 2.0 * ts;
+
+  ka::timed_launch(be, desc, [=](ka::WorkGroupCtx& wg) {
+    auto Xi = wg.priv<CT>(static_cast<std::size_t>(ts));
+    auto Ak = wg.local<CT>(static_cast<std::size_t>(ts));
+    auto Tk = wg.local<CT>(static_cast<std::size_t>(ts));
+    const index_t cg0 = col0 + wg.group_id() * cpb;
+
+    // Cooperative tau load; each item loads its own column into registers.
+    wg.items([&](int t) {
+      for (int idx = t; idx < ts; idx += cpb) {
+        Tk[idx] = static_cast<CT>(Tau.at(row0, idx));
+      }
+      const index_t c = cg0 + t;
+      if (c >= colend) return;
+      auto x = Xi(t);
+      for (int r = 0; r < ts; ++r) x[r] = static_cast<CT>(W.at(rbase + r, c));
+    });
+
+    for (int kk = 0; kk + 1 < ts; ++kk) {
+      wg.items([&](int t) {  // stage Householder column kk
+        for (int idx = t; idx < ts; idx += cpb) {
+          Ak[idx] = static_cast<CT>(W.at(rbase + idx, cbase + kk));
+        }
+      });
+      wg.items([&](int t) {
+        const index_t c = cg0 + t;
+        if (c >= colend) return;
+        auto x = Xi(t);
+        CT rho = x[kk];
+        for (int r = kk + 1; r < ts; ++r) rho += x[r] * Ak[r];
+        rho *= Tk[kk];
+        x[kk] -= rho;
+        for (int r = kk + 1; r < ts; ++r) x[r] -= rho * Ak[r];
+      });
+    }
+
+    wg.items([&](int t) {
+      const index_t c = cg0 + t;
+      if (c >= colend) return;
+      auto x = Xi(t);
+      for (int r = 0; r < ts; ++r) W.at(rbase + r, c) = static_cast<T>(x[r]);
+    });
+  }, times);
+}
+
+}  // namespace unisvd::qr

@@ -1,0 +1,149 @@
+#include "rand/matrix_gen.hpp"
+
+#include <cmath>
+
+namespace unisvd::rnd {
+
+Matrix<double> gaussian_matrix(index_t rows, index_t cols, Xoshiro256& rng,
+                               double scale) {
+  Matrix<double> a(rows, cols);
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) {
+      a(i, j) = scale * rng.normal();
+    }
+  }
+  return a;
+}
+
+void apply_reflector_left(Matrix<double>& m, const std::vector<double>& v) {
+  const index_t n = m.rows();
+  for (index_t j = 0; j < m.cols(); ++j) {
+    double dot = 0.0;
+    for (index_t i = 0; i < n; ++i) dot += v[static_cast<std::size_t>(i)] * m(i, j);
+    const double f = 2.0 * dot;
+    for (index_t i = 0; i < n; ++i) m(i, j) -= f * v[static_cast<std::size_t>(i)];
+  }
+}
+
+void apply_reflector_right(Matrix<double>& m, const std::vector<double>& v) {
+  const index_t n = m.cols();
+  for (index_t i = 0; i < m.rows(); ++i) {
+    double dot = 0.0;
+    for (index_t j = 0; j < n; ++j) dot += m(i, j) * v[static_cast<std::size_t>(j)];
+    const double f = 2.0 * dot;
+    for (index_t j = 0; j < n; ++j) m(i, j) -= f * v[static_cast<std::size_t>(j)];
+  }
+}
+
+namespace {
+
+/// Random unit vector of length n.
+std::vector<double> random_unit_vector(index_t n, Xoshiro256& rng) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  double nrm2 = 0.0;
+  do {
+    nrm2 = 0.0;
+    for (auto& x : v) {
+      x = rng.normal();
+      nrm2 += x * x;
+    }
+  } while (nrm2 == 0.0);
+  const double inv = 1.0 / std::sqrt(nrm2);
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+}  // namespace
+
+Matrix<double> haar_orthogonal(index_t n, Xoshiro256& rng) {
+  // Householder QR of a Gaussian matrix; Q formed by applying the
+  // reflectors to the identity. Sign-corrected with the diagonal of R so the
+  // distribution is exactly Haar.
+  Matrix<double> a = gaussian_matrix(n, n, rng);
+  std::vector<std::vector<double>> vs;
+  std::vector<double> rdiag(static_cast<std::size_t>(n));
+  vs.reserve(static_cast<std::size_t>(n));
+
+  for (index_t k = 0; k < n; ++k) {
+    // Householder vector zeroing a(k+1:, k).
+    double nrm2 = 0.0;
+    for (index_t i = k; i < n; ++i) nrm2 += a(i, k) * a(i, k);
+    const double alpha = a(k, k);
+    const double r = std::sqrt(nrm2);
+    const double beta = alpha >= 0.0 ? -r : r;
+    rdiag[static_cast<std::size_t>(k)] = beta;
+    std::vector<double> v(static_cast<std::size_t>(n), 0.0);
+    double vnrm2 = 0.0;
+    v[static_cast<std::size_t>(k)] = alpha - beta;
+    for (index_t i = k + 1; i < n; ++i) v[static_cast<std::size_t>(i)] = a(i, k);
+    for (index_t i = k; i < n; ++i) {
+      vnrm2 += v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+    }
+    if (vnrm2 > 0.0) {
+      const double inv = 1.0 / std::sqrt(vnrm2);
+      for (index_t i = k; i < n; ++i) v[static_cast<std::size_t>(i)] *= inv;
+      apply_reflector_left(a, v);
+      vs.push_back(std::move(v));
+    }
+  }
+
+  // Q = H_0 H_1 ... H_{n-1} I, columns sign-flipped by sign(r_kk) so that
+  // Q follows the Haar measure rather than QR's sign convention.
+  Matrix<double> q(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) q(i, i) = 1.0;
+  for (auto it = vs.rbegin(); it != vs.rend(); ++it) {
+    apply_reflector_left(q, *it);
+  }
+  for (index_t j = 0; j < n; ++j) {
+    if (rdiag[static_cast<std::size_t>(j)] < 0.0) {
+      for (index_t i = 0; i < n; ++i) q(i, j) = -q(i, j);
+    }
+  }
+  return q;
+}
+
+Matrix<double> matrix_with_spectrum(const std::vector<double>& sigma, Xoshiro256& rng) {
+  const auto n = static_cast<index_t>(sigma.size());
+  const Matrix<double> u = haar_orthogonal(n, rng);
+  const Matrix<double> v = haar_orthogonal(n, rng);
+  // A = U * diag(sigma) * V^T, accumulated directly.
+  Matrix<double> a(n, n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t k = 0; k < n; ++k) {
+      const double f = sigma[static_cast<std::size_t>(k)] * v(j, k);
+      if (f == 0.0) continue;
+      for (index_t i = 0; i < n; ++i) a(i, j) += u(i, k) * f;
+    }
+  }
+  return a;
+}
+
+Matrix<double> matrix_with_spectrum_fast(const std::vector<double>& sigma,
+                                         Xoshiro256& rng, int reflectors) {
+  const auto n = static_cast<index_t>(sigma.size());
+  Matrix<double> a(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) a(i, i) = sigma[static_cast<std::size_t>(i)];
+  for (int k = 0; k < reflectors; ++k) {
+    apply_reflector_left(a, random_unit_vector(n, rng));
+    apply_reflector_right(a, random_unit_vector(n, rng));
+  }
+  return a;
+}
+
+Matrix<double> rect_matrix_with_spectrum(index_t rows, index_t cols,
+                                         const std::vector<double>& sigma,
+                                         Xoshiro256& rng, int reflectors) {
+  UNISVD_REQUIRE(static_cast<index_t>(sigma.size()) == std::min(rows, cols),
+                 "rect_matrix_with_spectrum: sigma must have min(rows, cols) entries");
+  Matrix<double> a(rows, cols, 0.0);
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    a(static_cast<index_t>(i), static_cast<index_t>(i)) = sigma[i];
+  }
+  for (int k = 0; k < reflectors; ++k) {
+    apply_reflector_left(a, random_unit_vector(rows, rng));
+    apply_reflector_right(a, random_unit_vector(cols, rng));
+  }
+  return a;
+}
+
+}  // namespace unisvd::rnd

@@ -1,0 +1,84 @@
+#pragma once
+/// \file spectrum.hpp
+/// Prescribed singular value distributions on [0, 1] (paper §3.2 Accuracy):
+/// arithmetic (evenly spaced — best conditioned for the error metric),
+/// logarithmic (representative of practical spectra) and quarter-circle
+/// (the limiting spectrum of square i.i.d. random matrices).
+
+#include <cmath>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+
+namespace unisvd::rnd {
+
+enum class Spectrum { Arithmetic, Logarithmic, QuarterCircle };
+
+[[nodiscard]] constexpr std::string_view to_string(Spectrum s) noexcept {
+  switch (s) {
+    case Spectrum::Arithmetic: return "arithmetic";
+    case Spectrum::Logarithmic: return "logarithmic";
+    case Spectrum::QuarterCircle: return "quarter-circle";
+  }
+  return "?";
+}
+
+/// Evenly spaced values in (0, 1]: sigma_i = (n - i) / n, descending.
+inline std::vector<double> arithmetic_spectrum(index_t n) {
+  std::vector<double> s(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    s[static_cast<std::size_t>(i)] = static_cast<double>(n - i) / static_cast<double>(n);
+  }
+  return s;
+}
+
+/// Log-spaced values over `decades` orders of magnitude below 1, descending.
+inline std::vector<double> logarithmic_spectrum(index_t n, double decades = 3.0) {
+  UNISVD_REQUIRE(decades > 0.0, "logarithmic_spectrum: decades must be positive");
+  std::vector<double> s(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const double t = n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1) : 0.0;
+    s[static_cast<std::size_t>(i)] = std::pow(10.0, -decades * t);
+  }
+  return s;
+}
+
+namespace detail {
+/// CDF of the quarter-circle density f(x) = (4/pi) sqrt(1 - x^2) on [0, 1].
+inline double quarter_circle_cdf(double x) {
+  return (2.0 / 3.141592653589793) * (x * std::sqrt(1.0 - x * x) + std::asin(x));
+}
+}  // namespace detail
+
+/// Quantiles of the quarter-circle law on [0, 1], descending — mimics the
+/// expected spectrum of square matrices with i.i.d. entries (scaled).
+inline std::vector<double> quarter_circle_spectrum(index_t n) {
+  std::vector<double> s(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    // Invert the CDF at probability p by bisection (CDF is monotone).
+    const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    double lo = 0.0;
+    double hi = 1.0;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (detail::quarter_circle_cdf(mid) < p ? lo : hi) = mid;
+    }
+    // Larger p -> larger quantile; store descending.
+    s[static_cast<std::size_t>(n - 1 - i)] = 0.5 * (lo + hi);
+  }
+  return s;
+}
+
+inline std::vector<double> make_spectrum(Spectrum kind, index_t n) {
+  switch (kind) {
+    case Spectrum::Arithmetic: return arithmetic_spectrum(n);
+    case Spectrum::Logarithmic: return logarithmic_spectrum(n);
+    case Spectrum::QuarterCircle: return quarter_circle_spectrum(n);
+  }
+  UNISVD_REQUIRE(false, "make_spectrum: unknown spectrum kind");
+  return {};
+}
+
+}  // namespace unisvd::rnd

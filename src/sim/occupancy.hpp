@@ -1,0 +1,64 @@
+#pragma once
+/// \file occupancy.hpp
+/// Workgroup occupancy model.
+///
+/// Residency per CU is limited by the thread budget, workgroup slots,
+/// local (shared) memory vs L1, and per-item private arrays vs the
+/// register file. Panel-class kernels (GEQRT/TSQRT) hold the whole tile
+/// per workgroup — TILESIZE columns of TILESIZE elements spread over the
+/// group's registers — and the hardware stages that working set through
+/// L1; hence the paper's tuning rule "TILESIZE x TILESIZE x
+/// sizeof(precision) must fit within the available L1" (§3.3). When the
+/// tile working set exceeds L1 (e.g. 64x64 FP64 = 32 KB against the
+/// MI250's 16 KB), the kernel thrashes: the model charges the overflow as
+/// extra memory traffic and reduced arithmetic efficiency — the source of
+/// the Table 3 MI250/FP64 TILESIZE cliff.
+
+#include <algorithm>
+#include <cmath>
+
+#include "ka/launch.hpp"
+#include "sim/device_spec.hpp"
+
+namespace unisvd::sim {
+
+struct Occupancy {
+  int wgs_per_cu = 1;          ///< resident workgroups per CU (>= 1)
+  double spill_factor = 1.0;   ///< >1: working set exceeds L1, traffic inflates
+  double efficiency_scale = 1.0;  ///< <1 when the working set thrashes L1
+};
+
+[[nodiscard]] inline bool is_panel_kernel(const ka::LaunchDesc& d) noexcept {
+  return d.name == "geqrt" || d.name == "tsqrt" || d.name == "ftsqrt";
+}
+
+inline Occupancy occupancy_of(const DeviceSpec& dev, const ka::LaunchDesc& d) {
+  Occupancy out;
+  const double l1 = dev.l1_kb_per_cu * 1024.0;
+  const double regs = dev.regfile_kb_per_cu * 1024.0;
+  const double priv_per_wg =
+      static_cast<double>(d.private_bytes_per_item) * d.group_size;
+
+  const int by_threads = std::max(1, dev.max_threads_per_cu / std::max(1, d.group_size));
+  const int by_local =
+      d.local_bytes > 0 ? std::max(1, static_cast<int>(l1 / double(d.local_bytes)))
+                        : dev.max_wgs_per_cu;
+  const int by_regs =
+      priv_per_wg > 0 ? std::max(1, static_cast<int>(regs / priv_per_wg))
+                      : dev.max_wgs_per_cu;
+  out.wgs_per_cu =
+      std::clamp(std::min({by_threads, by_local, by_regs}), 1, dev.max_wgs_per_cu);
+
+  if (is_panel_kernel(d)) {
+    // Tile-resident working set staged through L1 (paper §3.3 rule).
+    const double working_set = priv_per_wg + static_cast<double>(d.local_bytes);
+    if (working_set > l1) {
+      const double over = std::min(3.0, working_set / l1);
+      out.spill_factor = over;
+      out.efficiency_scale = 1.0 / over;
+    }
+  }
+  return out;
+}
+
+}  // namespace unisvd::sim

@@ -1,0 +1,210 @@
+/// Stage-1 orchestration tests (Algorithms 1-2): band structure of the
+/// numerical content, singular value preservation against the Jacobi
+/// oracle, fused/unfused equivalence, trace-vs-execution schedule equality,
+/// backend equivalence, precision sweeps.
+
+#include <gtest/gtest.h>
+
+#include "band/band_matrix.hpp"
+#include "baseline/jacobi.hpp"
+#include "common/linalg_ref.hpp"
+#include "ka/backend.hpp"
+#include "qr/band_reduction.hpp"
+#include "test_util.hpp"
+#include "tile/tile_layout.hpp"
+
+using namespace unisvd;
+using testutil::random_matrix;
+
+namespace {
+
+qr::KernelConfig config(int ts, int cpb = 0, bool fused = true, int splitk = 1) {
+  qr::KernelConfig cfg;
+  cfg.tilesize = ts;
+  cfg.colperblock = cpb == 0 ? std::min(32, ts) : cpb;
+  cfg.fused = fused;
+  cfg.splitk = splitk;
+  return cfg;
+}
+
+/// Dense matrix holding only the band part (diagonals 0..ts) of w.
+Matrix<double> band_part(const Matrix<double>& w, int ts) {
+  Matrix<double> out(w.rows(), w.cols(), 0.0);
+  for (index_t j = 0; j < w.cols(); ++j) {
+    for (index_t i = 0; i < w.rows(); ++i) {
+      if (j >= i && j - i <= ts) out(i, j) = w(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+struct BandCase {
+  int ts;
+  index_t nt;
+  bool fused;
+  int splitk;
+};
+
+class BandReductionSweep : public ::testing::TestWithParam<BandCase> {};
+
+TEST_P(BandReductionSweep, PreservesSingularValues) {
+  const auto [ts, nt, fused, splitk] = GetParam();
+  const index_t n = nt * ts;
+  Matrix<double> a = random_matrix(n, n, 1000 + n);
+  Matrix<double> w = a;
+  Matrix<double> tau(nt, ts, 0.0);
+  ka::CpuBackend be(8);
+  qr::band_reduction<double>(be, w.view(), tau.view(), config(ts, 0, fused, splitk));
+
+  // Orthogonal two-sided reduction: the band part must carry exactly the
+  // singular values of the input (the rest of w stores reflector tails).
+  const auto banded = band_part(w, ts);
+  const auto sv_band = baseline::jacobi_svdvals(banded.view(), &be.pool());
+  const auto sv_orig = baseline::jacobi_svdvals(a.view(), &be.pool());
+  EXPECT_LT(ref::rel_sv_error(sv_band, sv_orig), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, BandReductionSweep,
+    ::testing::Values(BandCase{4, 2, true, 1}, BandCase{4, 5, true, 1},
+                      BandCase{8, 3, true, 1}, BandCase{8, 3, false, 1},
+                      BandCase{8, 4, true, 2}, BandCase{16, 2, true, 1},
+                      BandCase{16, 3, false, 4}, BandCase{32, 2, true, 8}),
+    [](const auto& info) {
+      return "ts" + std::to_string(info.param.ts) + "_nt" +
+             std::to_string(info.param.nt) + (info.param.fused ? "_fused" : "_unfused") +
+             "_sk" + std::to_string(info.param.splitk);
+    });
+
+TEST(BandReduction, FusedAndUnfusedBitwiseEqualInDouble) {
+  const int ts = 8;
+  const index_t nt = 4;
+  Matrix<double> w1 = random_matrix(nt * ts, nt * ts, 3);
+  Matrix<double> w2 = w1;
+  Matrix<double> t1(nt, ts, 0.0);
+  Matrix<double> t2(nt, ts, 0.0);
+  ka::SerialBackend be;
+  qr::band_reduction<double>(be, w1.view(), t1.view(), config(ts, 8, true));
+  qr::band_reduction<double>(be, w2.view(), t2.view(), config(ts, 8, false));
+  for (index_t j = 0; j < w1.cols(); ++j) {
+    for (index_t i = 0; i < w1.rows(); ++i) ASSERT_EQ(w1(i, j), w2(i, j));
+  }
+}
+
+TEST(BandReduction, SerialAndParallelBackendsBitwiseEqual) {
+  const int ts = 8;
+  const index_t nt = 4;
+  Matrix<double> w1 = random_matrix(nt * ts, nt * ts, 9);
+  Matrix<double> w2 = w1;
+  Matrix<double> t1(nt, ts, 0.0);
+  Matrix<double> t2(nt, ts, 0.0);
+  ka::SerialBackend serial;
+  ka::CpuBackend cpu(8);
+  qr::band_reduction<double>(serial, w1.view(), t1.view(), config(ts));
+  qr::band_reduction<double>(cpu, w2.view(), t2.view(), config(ts));
+  for (index_t j = 0; j < w1.cols(); ++j) {
+    for (index_t i = 0; i < w1.rows(); ++i) ASSERT_EQ(w1(i, j), w2(i, j));
+  }
+}
+
+TEST(BandReduction, RecordedTraceEqualsAnalyticSchedule) {
+  // The performance model consumes schedules from schedule_band_reduction;
+  // they must be identical to what a real execution launches.
+  const int ts = 8;
+  const index_t nt = 5;
+  for (bool fused : {true, false}) {
+    const auto cfg = config(ts, 8, fused);
+    Matrix<double> w = random_matrix(nt * ts, nt * ts, 11);
+    Matrix<double> tau(nt, ts, 0.0);
+    ka::SerialBackend be;
+    ka::TraceRecorder real_trace;
+    be.set_trace(&real_trace);
+    qr::band_reduction<double>(be, w.view(), tau.view(), cfg);
+
+    ka::TraceRecorder analytic;
+    qr::schedule_band_reduction<double>(nt, cfg, analytic);
+
+    ASSERT_EQ(real_trace.records().size(), analytic.records().size());
+    for (std::size_t i = 0; i < analytic.records().size(); ++i) {
+      const auto& r = real_trace.records()[i];
+      const auto& s = analytic.records()[i];
+      EXPECT_EQ(r.name, s.name) << i;
+      EXPECT_EQ(r.num_groups, s.num_groups) << i;
+      EXPECT_EQ(r.group_size, s.group_size) << i;
+      EXPECT_EQ(r.cost.flops, s.cost.flops) << i;
+      EXPECT_EQ(r.cost.bytes_read, s.cost.bytes_read) << i;
+      EXPECT_EQ(r.cost.serial_iterations, s.cost.serial_iterations) << i;
+    }
+  }
+}
+
+TEST(BandReduction, FusedScheduleIsLinearInTiles) {
+  // Launch count: fused ~ O(ntiles), unfused ~ O(ntiles^2) (Figure 2).
+  const auto count = [](index_t nt, bool fused) {
+    ka::TraceRecorder tr;
+    qr::schedule_band_reduction<double>(nt, config(8, 8, fused), tr);
+    return tr.records().size();
+  };
+  const auto f8 = count(8, true);
+  const auto f16 = count(16, true);
+  const auto u8 = count(8, false);
+  const auto u16 = count(16, false);
+  // Doubling tiles: fused roughly doubles, unfused roughly quadruples.
+  EXPECT_LT(f16, 3 * f8);
+  EXPECT_GT(u16, 3 * u8);
+  EXPECT_GT(u16, f16 * 4);
+}
+
+TEST(BandReduction, StageTimesAttributed) {
+  const int ts = 8;
+  const index_t nt = 3;
+  Matrix<double> w = random_matrix(nt * ts, nt * ts, 2);
+  Matrix<double> tau(nt, ts, 0.0);
+  ka::SerialBackend be;
+  ka::StageTimes times;
+  qr::band_reduction<double>(be, w.view(), tau.view(), config(ts), &times);
+  EXPECT_GT(times.get(ka::Stage::PanelFactorization), 0.0);
+  EXPECT_GT(times.get(ka::Stage::TrailingUpdate), 0.0);
+  EXPECT_EQ(times.get(ka::Stage::BandToBidiagonal), 0.0);
+}
+
+TEST(BandReduction, RejectsInvalidInputs) {
+  Matrix<double> rect(16, 8, 0.0);
+  Matrix<double> tau(2, 8, 0.0);
+  ka::SerialBackend be;
+  EXPECT_THROW(
+      qr::band_reduction<double>(be, rect.view(), tau.view(), config(8)), Error);
+  Matrix<double> odd(12, 12, 0.0);  // not a multiple of ts=8
+  EXPECT_THROW(qr::band_reduction<double>(be, odd.view(), tau.view(), config(8)),
+               Error);
+  Matrix<double> ok(16, 16, 0.0);
+  Matrix<double> small_tau(1, 8, 0.0);  // workspace too small
+  EXPECT_THROW(
+      qr::band_reduction<double>(be, ok.view(), small_tau.view(), config(8)), Error);
+}
+
+TEST(KernelConfig, ValidationRules) {
+  qr::KernelConfig cfg;
+  cfg.tilesize = 33;  // not divisible by colperblock 32
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  cfg.splitk = 3;  // does not divide 32
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  cfg.tilesize = 512;  // out of range
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  cfg.tilesize = 128;
+  cfg.splitk = 16;  // 128*16 = 2048 threads > 1024
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  cfg.colperblock = 64;  // > tilesize
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  cfg.tilesize = 64;
+  cfg.colperblock = 16;
+  cfg.splitk = 8;
+  EXPECT_NO_THROW(cfg.validate());
+}

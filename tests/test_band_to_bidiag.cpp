@@ -1,0 +1,158 @@
+/// Stage-2 tests: band extraction, bulge chasing to bidiagonal form,
+/// singular value preservation, transient-diagonal cleanliness.
+
+#include <gtest/gtest.h>
+
+#include "band/band_matrix.hpp"
+#include "band/band_to_bidiag.hpp"
+#include "baseline/jacobi.hpp"
+#include "common/linalg_ref.hpp"
+#include "test_util.hpp"
+
+using namespace unisvd;
+using testutil::random_matrix;
+
+namespace {
+
+/// Random upper band matrix (dense storage) of bandwidth bw.
+Matrix<double> random_band(index_t n, index_t bw, std::uint64_t seed) {
+  Matrix<double> a = random_matrix(n, n, seed);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      if (j < i || j - i > bw) a(i, j) = 0.0;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+TEST(BandMatrix, ExtractAndDenseRoundTrip) {
+  const index_t n = 12;
+  const index_t bw = 3;
+  Matrix<double> a = random_band(n, bw, 5);
+  auto b = band::extract_band<double>(a.view(), bw);
+  EXPECT_EQ(b.n(), n);
+  EXPECT_EQ(b.bandwidth(), bw);
+  const auto dense = b.to_dense();
+  EXPECT_LT(ref::fro_diff(dense.view(), a.view()), 1e-15);
+}
+
+TEST(BandMatrix, ExtractIgnoresImplicitReflectorStorage) {
+  // Extraction must take ONLY diagonals 0..bw even when the source matrix
+  // has (reflector) data outside the band.
+  const index_t n = 8;
+  Matrix<double> a = random_matrix(n, n, 6);  // fully dense
+  auto b = band::extract_band<double>(a.view(), 2);
+  const auto dense = b.to_dense();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      if (j >= i && j - i <= 2) {
+        EXPECT_EQ(dense(i, j), a(i, j));
+      } else {
+        EXPECT_EQ(dense(i, j), 0.0);
+      }
+    }
+  }
+}
+
+struct ChaseCase {
+  index_t n;
+  index_t bw;
+};
+
+class BandToBidiagSweep : public ::testing::TestWithParam<ChaseCase> {};
+
+TEST_P(BandToBidiagSweep, ProducesBidiagonalWithSameSingularValues) {
+  const auto [n, bw] = GetParam();
+  Matrix<double> a = random_band(n, bw, 100 + n + bw);
+  auto b = band::extract_band<double>(a.view(), bw);
+  std::vector<double> d;
+  std::vector<double> e;
+  const auto stats = band::band_to_bidiag(b, d, e);
+  if (bw >= 2 && n > 2) EXPECT_GT(stats.rotations, 0.0);
+
+  // Bidiagonal structure: all other diagonals of the packed storage clean.
+  const auto dense = b.to_dense();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      if (j != i && j != i + 1) {
+        EXPECT_NEAR(dense(i, j), 0.0, 1e-12) << i << "," << j;
+      }
+    }
+  }
+
+  // Spectrum preserved: bidiagonal (d, e) as dense vs original band.
+  Matrix<double> bd(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    bd(i, i) = d[static_cast<std::size_t>(i)];
+    if (i + 1 < n) bd(i, i + 1) = e[static_cast<std::size_t>(i)];
+  }
+  const auto sv_bd = baseline::jacobi_svdvals(bd.view());
+  const auto sv_a = baseline::jacobi_svdvals(a.view());
+  EXPECT_LT(ref::rel_sv_error(sv_bd, sv_a), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, BandToBidiagSweep,
+                         ::testing::Values(ChaseCase{6, 2}, ChaseCase{16, 2},
+                                           ChaseCase{16, 4}, ChaseCase{24, 8},
+                                           ChaseCase{33, 5}, ChaseCase{48, 16},
+                                           ChaseCase{64, 8}, ChaseCase{7, 6}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "_bw" +
+                                  std::to_string(info.param.bw);
+                         });
+
+TEST(BandToBidiag, AlreadyBidiagonalIsIdentityOp) {
+  const index_t n = 10;
+  Matrix<double> a = random_band(n, 1, 8);
+  auto b = band::extract_band<double>(a.view(), 1);
+  std::vector<double> d;
+  std::vector<double> e;
+  const auto stats = band::band_to_bidiag(b, d, e);
+  EXPECT_EQ(stats.rotations, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(d[static_cast<std::size_t>(i)], a(i, i));
+    if (i + 1 < n) EXPECT_EQ(e[static_cast<std::size_t>(i)], a(i, i + 1));
+  }
+}
+
+TEST(BandToBidiag, DiagonalMatrixUntouched) {
+  const index_t n = 9;
+  Matrix<double> a(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) a(i, i) = static_cast<double>(i + 1);
+  auto b = band::extract_band<double>(a.view(), 3);
+  std::vector<double> d;
+  std::vector<double> e;
+  band::band_to_bidiag(b, d, e);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)], static_cast<double>(i + 1));
+    if (i + 1 < n) EXPECT_DOUBLE_EQ(e[static_cast<std::size_t>(i)], 0.0);
+  }
+}
+
+TEST(BandToBidiag, FloatPrecision) {
+  const index_t n = 20;
+  const index_t bw = 4;
+  Matrix<double> ad = random_band(n, bw, 14);
+  Matrix<float> af = testutil::convert<float>(ad);
+  auto b = band::extract_band<float>(ConstMatrixView<float>(af.view()), bw);
+  std::vector<float> d;
+  std::vector<float> e;
+  band::band_to_bidiag(b, d, e);
+  Matrix<double> bd(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    bd(i, i) = d[static_cast<std::size_t>(i)];
+    if (i + 1 < n) bd(i, i + 1) = e[static_cast<std::size_t>(i)];
+  }
+  const auto sv_bd = baseline::jacobi_svdvals(bd.view());
+  const auto sv_a = baseline::jacobi_svdvals(ad.view());
+  EXPECT_LT(ref::rel_sv_error(sv_bd, sv_a), 1e-5);  // float-level
+}
+
+TEST(BandMatrix, RejectsBadShapes) {
+  EXPECT_THROW(band::BandMatrix<double>(0, 1), Error);
+  EXPECT_THROW(band::BandMatrix<double>(4, 0), Error);
+  Matrix<double> rect(4, 6, 0.0);
+  EXPECT_THROW(band::extract_band<double>(rect.view(), 2), Error);
+}

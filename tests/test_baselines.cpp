@@ -1,0 +1,120 @@
+/// Baseline solver tests: one-sided Jacobi oracle and one-stage
+/// bidiagonalization solver — correctness against constructed spectra and
+/// against each other (two independent algorithms agreeing).
+
+#include <gtest/gtest.h>
+
+#include "baseline/jacobi.hpp"
+#include "baseline/onestage.hpp"
+#include "common/linalg_ref.hpp"
+#include "rand/matrix_gen.hpp"
+#include "rand/spectrum.hpp"
+#include "test_util.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+Matrix<double> known_spectrum_matrix(index_t n, rnd::Spectrum kind, std::uint64_t seed,
+                                     std::vector<double>* sigma_out = nullptr) {
+  rnd::Xoshiro256 rng(seed);
+  auto sigma = rnd::make_spectrum(kind, n);
+  if (sigma_out != nullptr) *sigma_out = sigma;
+  return rnd::matrix_with_spectrum(sigma, rng);
+}
+
+}  // namespace
+
+TEST(Jacobi, RecoversKnownSpectrum) {
+  std::vector<double> sigma;
+  const auto a = known_spectrum_matrix(32, rnd::Spectrum::Arithmetic, 1, &sigma);
+  const auto sv = baseline::jacobi_svdvals(a.view());
+  EXPECT_LT(ref::rel_sv_error(sv, sigma), 1e-13);
+}
+
+TEST(Jacobi, IdentityAndDiagonal) {
+  Matrix<double> eye(8, 8, 0.0);
+  for (index_t i = 0; i < 8; ++i) eye(i, i) = 1.0;
+  for (double s : baseline::jacobi_svdvals(eye.view())) EXPECT_NEAR(s, 1.0, 1e-14);
+
+  Matrix<double> diag(5, 5, 0.0);
+  const double vals[] = {5, 4, 3, 2, 1};
+  for (index_t i = 0; i < 5; ++i) diag(i, i) = vals[4 - i];  // ascending layout
+  const auto sv = baseline::jacobi_svdvals(diag.view());
+  for (index_t i = 0; i < 5; ++i) EXPECT_NEAR(sv[static_cast<std::size_t>(i)], vals[i], 1e-14);
+}
+
+TEST(Jacobi, ParallelMatchesSerial) {
+  const auto a = known_spectrum_matrix(48, rnd::Spectrum::Logarithmic, 5);
+  ka::ThreadPool pool(8);
+  const auto serial = baseline::jacobi_svdvals(a.view(), nullptr);
+  const auto parallel = baseline::jacobi_svdvals(a.view(), &pool);
+  // The tournament order is fixed; rotations within a round commute, so
+  // both schedules converge to the same values (to roundoff-level).
+  EXPECT_LT(ref::rel_sv_error(parallel, serial), 1e-12);
+}
+
+TEST(Jacobi, RankDeficientMatrix) {
+  // Rank-2 matrix from two outer products.
+  const index_t n = 16;
+  rnd::Xoshiro256 rng(9);
+  Matrix<double> a(n, n, 0.0);
+  for (int r = 0; r < 2; ++r) {
+    std::vector<double> u(static_cast<std::size_t>(n));
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (auto& x : u) x = rng.normal();
+    for (auto& x : v) x = rng.normal();
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        a(i, j) += u[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  const auto sv = baseline::jacobi_svdvals(a.view());
+  EXPECT_GT(sv[1], 1e-8);
+  for (std::size_t i = 2; i < sv.size(); ++i) EXPECT_LT(sv[i], 1e-10 * sv[0]);
+}
+
+TEST(OneStage, RecoversKnownSpectrum) {
+  std::vector<double> sigma;
+  const auto a = known_spectrum_matrix(40, rnd::Spectrum::QuarterCircle, 2, &sigma);
+  const auto sv = baseline::onestage_svdvals<double>(a.view());
+  EXPECT_LT(ref::rel_sv_error(sv, sigma), 1e-12);
+}
+
+TEST(OneStage, AgreesWithJacobi) {
+  const auto a = known_spectrum_matrix(37, rnd::Spectrum::Logarithmic, 3);
+  const auto sv1 = baseline::onestage_svdvals<double>(a.view());
+  const auto sv2 = baseline::jacobi_svdvals(a.view());
+  EXPECT_LT(ref::rel_sv_error(sv1, sv2), 1e-11);
+}
+
+TEST(OneStage, ParallelPoolMatchesSerial) {
+  const auto a = known_spectrum_matrix(33, rnd::Spectrum::Arithmetic, 4);
+  ka::ThreadPool pool(8);
+  const auto serial = baseline::onestage_svdvals<double>(a.view(), nullptr);
+  const auto parallel = baseline::onestage_svdvals<double>(a.view(), &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_NEAR(parallel[i], serial[i], 1e-13);  // same ops, same order
+  }
+}
+
+TEST(OneStage, FloatAndHalfPrecision) {
+  std::vector<double> sigma;
+  const auto ad = known_spectrum_matrix(24, rnd::Spectrum::Arithmetic, 6, &sigma);
+  const auto af = testutil::convert<float>(ad);
+  const auto svf = baseline::onestage_svdvals<float>(af.view());
+  EXPECT_LT(ref::rel_sv_error(svf, sigma), 1e-5);
+
+  const auto ah = testutil::convert<Half>(ad);
+  const auto svh = baseline::onestage_svdvals<Half>(ah.view());
+  EXPECT_LT(ref::rel_sv_error(svh, sigma), 2e-2);  // half storage error
+}
+
+TEST(OneStage, OneByOne) {
+  Matrix<double> a(1, 1);
+  a(0, 0) = -3.5;
+  const auto sv = baseline::onestage_svdvals<double>(a.view());
+  ASSERT_EQ(sv.size(), 1u);
+  EXPECT_NEAR(sv[0], 3.5, 1e-15);
+}

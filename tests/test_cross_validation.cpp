@@ -1,0 +1,171 @@
+/// Cross-validation integration suite: the unified pipeline, the one-stage
+/// baseline and the Jacobi oracle — three independent algorithms — must
+/// agree on a grid of matrix classes (Gaussian, prescribed spectra,
+/// rank-deficient, graded, scaled, structured), across configurations.
+
+#include <gtest/gtest.h>
+
+#include "baseline/jacobi.hpp"
+#include "baseline/onestage.hpp"
+#include "common/linalg_ref.hpp"
+#include "core/svd.hpp"
+#include "rand/matrix_gen.hpp"
+#include "rand/spectrum.hpp"
+#include "test_util.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+enum class MatrixClass {
+  Gaussian,
+  Arithmetic,
+  Logarithmic,
+  QuarterCircle,
+  RankOne,
+  Graded,
+  ScaledUp,
+  Tridiagonal,
+};
+
+const char* class_name(MatrixClass c) {
+  switch (c) {
+    case MatrixClass::Gaussian: return "gaussian";
+    case MatrixClass::Arithmetic: return "arith";
+    case MatrixClass::Logarithmic: return "log";
+    case MatrixClass::QuarterCircle: return "qcircle";
+    case MatrixClass::RankOne: return "rank1";
+    case MatrixClass::Graded: return "graded";
+    case MatrixClass::ScaledUp: return "scaled";
+    case MatrixClass::Tridiagonal: return "tridiag";
+  }
+  return "?";
+}
+
+Matrix<double> make_matrix(MatrixClass c, index_t n, std::uint64_t seed) {
+  rnd::Xoshiro256 rng(seed);
+  switch (c) {
+    case MatrixClass::Gaussian:
+      return rnd::gaussian_matrix(n, n, rng);
+    case MatrixClass::Arithmetic:
+      return rnd::matrix_with_spectrum(rnd::arithmetic_spectrum(n), rng);
+    case MatrixClass::Logarithmic:
+      return rnd::matrix_with_spectrum(rnd::logarithmic_spectrum(n, 4.0), rng);
+    case MatrixClass::QuarterCircle:
+      return rnd::matrix_with_spectrum(rnd::quarter_circle_spectrum(n), rng);
+    case MatrixClass::RankOne: {
+      Matrix<double> a(n, n, 0.0);
+      std::vector<double> u(static_cast<std::size_t>(n));
+      std::vector<double> v(static_cast<std::size_t>(n));
+      for (auto& x : u) x = rng.normal();
+      for (auto& x : v) x = rng.normal();
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < n; ++i) {
+          a(i, j) = u[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(j)];
+        }
+      }
+      return a;
+    }
+    case MatrixClass::Graded: {
+      // Row and column scaling by 2^-i: extreme element grading.
+      auto a = rnd::gaussian_matrix(n, n, rng);
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < n; ++i) {
+          a(i, j) *= std::ldexp(1.0, -static_cast<int>((i + j) / 4));
+        }
+      }
+      return a;
+    }
+    case MatrixClass::ScaledUp: {
+      auto a = rnd::gaussian_matrix(n, n, rng);
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < n; ++i) a(i, j) *= 1e6;
+      }
+      return a;
+    }
+    case MatrixClass::Tridiagonal: {
+      Matrix<double> a(n, n, 0.0);
+      for (index_t i = 0; i < n; ++i) {
+        a(i, i) = 2.0 + 0.1 * rng.normal();
+        if (i + 1 < n) {
+          a(i, i + 1) = -1.0;
+          a(i + 1, i) = -1.0;
+        }
+      }
+      return a;
+    }
+  }
+  return Matrix<double>(n, n, 0.0);
+}
+
+}  // namespace
+
+class CrossValidation : public ::testing::TestWithParam<MatrixClass> {};
+
+TEST_P(CrossValidation, ThreeAlgorithmsAgreeFp64) {
+  const MatrixClass c = GetParam();
+  for (index_t n : {24, 47, 64}) {
+    const auto a = make_matrix(c, n, 9000 + n);
+    SvdConfig cfg;
+    cfg.kernels.tilesize = 16;
+    cfg.kernels.colperblock = 8;
+    const auto unified = svd_values_report<double>(a.view(), cfg).values;
+    const auto onestage = baseline::onestage_svdvals<double>(a.view());
+    const auto jacobi = baseline::jacobi_svdvals(a.view());
+    EXPECT_LT(ref::rel_sv_error(unified, jacobi), 1e-10)
+        << class_name(c) << " n=" << n;
+    EXPECT_LT(ref::rel_sv_error(unified, onestage), 1e-10)
+        << class_name(c) << " n=" << n;
+  }
+}
+
+TEST_P(CrossValidation, UnifiedFp32TracksFp64) {
+  const MatrixClass c = GetParam();
+  const index_t n = 40;
+  const auto a = make_matrix(c, n, 4242);
+  SvdConfig cfg;
+  cfg.kernels.tilesize = 8;
+  cfg.kernels.colperblock = 8;
+  cfg.auto_scale = true;  // handles the ScaledUp class in reduced precision
+  const auto v64 = svd_values_report<double>(a.view(), cfg).values;
+  const auto v32 =
+      svd_values_report<float>(testutil::convert<float>(a).view(), cfg).values;
+  // Relative agreement at float level on the dominant values.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(v32[i], v64[i], 2e-5 * v64[0]) << class_name(c);
+  }
+}
+
+TEST_P(CrossValidation, ConfigurationInvariance) {
+  // The computed values must not depend on TILESIZE / COLPERBLOCK / fusion
+  // beyond roundoff: algorithmic parameters change the schedule, not the
+  // math.
+  const MatrixClass c = GetParam();
+  const index_t n = 48;
+  const auto a = make_matrix(c, n, 777);
+  std::vector<double> reference;
+  for (const auto& [ts, cpb, fused] :
+       {std::tuple{8, 8, true}, {16, 8, false}, {16, 16, true}, {32, 8, true}}) {
+    SvdConfig cfg;
+    cfg.kernels.tilesize = ts;
+    cfg.kernels.colperblock = cpb;
+    cfg.kernels.fused = fused;
+    const auto v = svd_values_report<double>(a.view(), cfg).values;
+    if (reference.empty()) {
+      reference = v;
+    } else {
+      EXPECT_LT(ref::rel_sv_error(v, reference), 1e-11)
+          << class_name(c) << " ts=" << ts;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, CrossValidation,
+                         ::testing::Values(MatrixClass::Gaussian,
+                                           MatrixClass::Arithmetic,
+                                           MatrixClass::Logarithmic,
+                                           MatrixClass::QuarterCircle,
+                                           MatrixClass::RankOne, MatrixClass::Graded,
+                                           MatrixClass::ScaledUp,
+                                           MatrixClass::Tridiagonal),
+                         [](const auto& info) { return class_name(info.param); });

@@ -1,0 +1,216 @@
+/// GEQRT kernel tests: factorization correctness (Q^T A == R, orthogonal
+/// Q), structure of the output tile, SPLITK equivalence, precision
+/// behaviour and degenerate inputs — swept over tile sizes via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include "common/half.hpp"
+#include "common/linalg_ref.hpp"
+#include "ka/backend.hpp"
+#include "qr/geqrt.hpp"
+#include "test_util.hpp"
+
+using namespace unisvd;
+using testutil::random_matrix;
+
+namespace {
+
+struct GeqrtCase {
+  int ts;
+  int splitk;
+};
+
+/// Run geqrt on a ts x ts double tile; return (factored tile, tau).
+std::pair<Matrix<double>, std::vector<double>> run_geqrt(const Matrix<double>& a,
+                                                         int ts, int splitk) {
+  Matrix<double> tile = a;
+  Matrix<double> tau(1, ts, 0.0);
+  qr::KernelConfig cfg;
+  cfg.tilesize = ts;
+  cfg.splitk = splitk;
+  cfg.colperblock = std::min(32, ts);
+  ka::CpuBackend be(4);
+  qr::geqrt<double>(be, tile.view(), 0, 0, tau.view(), cfg);
+  std::vector<double> tv(static_cast<std::size_t>(ts));
+  for (int i = 0; i < ts; ++i) tv[static_cast<std::size_t>(i)] = tau(0, i);
+  return {std::move(tile), std::move(tv)};
+}
+
+}  // namespace
+
+class GeqrtSweep : public ::testing::TestWithParam<GeqrtCase> {};
+
+TEST_P(GeqrtSweep, QtAEqualsR) {
+  const auto [ts, splitk] = GetParam();
+  const Matrix<double> a = random_matrix(ts, ts, 42 + ts);
+  auto [fac, tau] = run_geqrt(a, ts, splitk);
+
+  // Reference: apply the stored reflectors to the ORIGINAL tile; the result
+  // must equal the R stored in the factored tile's upper triangle.
+  Matrix<double> qta = a;
+  testutil::apply_geqrt_qt(fac, tau, qta);
+  double max_err = 0.0;
+  for (index_t j = 0; j < ts; ++j) {
+    for (index_t i = 0; i <= j; ++i) {
+      max_err = std::max(max_err, std::abs(qta(i, j) - fac(i, j)));
+    }
+    for (index_t i = j + 1; i < ts; ++i) {
+      max_err = std::max(max_err, std::abs(qta(i, j)));  // below diag: zero
+    }
+  }
+  EXPECT_LT(max_err, 1e-12 * ts);
+}
+
+TEST_P(GeqrtSweep, QIsOrthogonal) {
+  const auto [ts, splitk] = GetParam();
+  const Matrix<double> a = random_matrix(ts, ts, 7 + ts);
+  auto [fac, tau] = run_geqrt(a, ts, splitk);
+
+  // Q^T I: columns of Q^T; orthogonality defect of Q^T must be ~eps.
+  Matrix<double> qt(ts, ts, 0.0);
+  for (index_t i = 0; i < ts; ++i) qt(i, i) = 1.0;
+  testutil::apply_geqrt_qt(fac, tau, qt);
+  EXPECT_LT(ref::orthogonality_defect<double>(qt.view()), 1e-12 * ts);
+}
+
+TEST_P(GeqrtSweep, PreservesColumnNorms) {
+  // ||A||_F == ||R||_F (orthogonal invariance).
+  const auto [ts, splitk] = GetParam();
+  const Matrix<double> a = random_matrix(ts, ts, 11 + ts);
+  auto [fac, tau] = run_geqrt(a, ts, splitk);
+  (void)tau;
+  double rnorm = 0.0;
+  for (index_t j = 0; j < ts; ++j) {
+    for (index_t i = 0; i <= j; ++i) rnorm += fac(i, j) * fac(i, j);
+  }
+  EXPECT_NEAR(std::sqrt(rnorm), ref::fro_norm<double>(a.view()), 1e-10 * ts);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, GeqrtSweep,
+                         ::testing::Values(GeqrtCase{4, 1}, GeqrtCase{8, 1},
+                                           GeqrtCase{16, 1}, GeqrtCase{32, 1},
+                                           GeqrtCase{8, 2}, GeqrtCase{16, 4},
+                                           GeqrtCase{32, 8}, GeqrtCase{64, 1},
+                                           GeqrtCase{64, 8}),
+                         [](const auto& info) {
+                           return "ts" + std::to_string(info.param.ts) + "_sk" +
+                                  std::to_string(info.param.splitk);
+                         });
+
+TEST(Geqrt, SplitkMatchesSerialResult) {
+  const int ts = 32;
+  const Matrix<double> a = random_matrix(ts, ts, 99);
+  auto [f1, t1] = run_geqrt(a, ts, 1);
+  auto [f4, t4] = run_geqrt(a, ts, 4);
+  // Same operations, different reduction splitting: equal to rounding.
+  EXPECT_LT(ref::fro_diff(f1.view(), f4.view()), 1e-11);
+  for (int i = 0; i < ts; ++i) {
+    EXPECT_NEAR(t1[static_cast<std::size_t>(i)], t4[static_cast<std::size_t>(i)], 1e-11);
+  }
+}
+
+TEST(Geqrt, ZeroTileIsFixedPoint) {
+  const int ts = 16;
+  Matrix<double> tile(ts, ts, 0.0);
+  Matrix<double> tau(1, ts, -1.0);
+  qr::KernelConfig cfg;
+  cfg.tilesize = ts;
+  cfg.colperblock = 16;
+  ka::SerialBackend be;
+  qr::geqrt<double>(be, tile.view(), 0, 0, tau.view(), cfg);
+  // Zero columns trigger the small-reflector guard; R stays zero, v = 0.
+  EXPECT_LT(ref::fro_norm<double>(tile.view()), 1e-12);
+  for (int i = 0; i + 1 < ts; ++i) EXPECT_EQ(tau(0, i), 2.0);  // guard tau
+}
+
+TEST(Geqrt, IdentityTile) {
+  const int ts = 8;
+  Matrix<double> tile(ts, ts, 0.0);
+  for (int i = 0; i < ts; ++i) tile(i, i) = 1.0;
+  const Matrix<double> orig = tile;
+  Matrix<double> tau(1, ts, 0.0);
+  qr::KernelConfig cfg;
+  cfg.tilesize = ts;
+  cfg.colperblock = 8;
+  ka::SerialBackend be;
+  qr::geqrt<double>(be, tile.view(), 0, 0, tau.view(), cfg);
+  // Identity columns have zero tails: guard path, R diagonal = -+1.
+  for (int i = 0; i < ts; ++i) EXPECT_NEAR(std::abs(tile(i, i)), 1.0, 1e-14);
+}
+
+TEST(Geqrt, FloatPrecisionAccuracy) {
+  const int ts = 32;
+  const Matrix<double> ad = random_matrix(ts, ts, 5);
+  Matrix<float> tile = testutil::convert<float>(ad);
+  Matrix<float> tau(1, ts, 0.0f);
+  qr::KernelConfig cfg;
+  cfg.tilesize = ts;
+  cfg.colperblock = 32;
+  ka::CpuBackend be(2);
+  qr::geqrt<float>(be, tile.view(), 0, 0, tau.view(), cfg);
+
+  Matrix<double> fac = testutil::widen(tile);
+  std::vector<double> tv(static_cast<std::size_t>(ts));
+  for (int i = 0; i < ts; ++i) tv[static_cast<std::size_t>(i)] = tau(0, i);
+  Matrix<double> qta = testutil::widen(testutil::convert<float>(ad));
+  testutil::apply_geqrt_qt(fac, tv, qta);
+  double max_err = 0.0;
+  for (index_t j = 0; j < ts; ++j) {
+    for (index_t i = 0; i <= j; ++i) {
+      max_err = std::max(max_err, std::abs(qta(i, j) - fac(i, j)));
+    }
+  }
+  EXPECT_LT(max_err, 1e-4);  // float-level backward error
+}
+
+TEST(Geqrt, HalfStorageComputesInFloat) {
+  const int ts = 16;
+  Matrix<double> ad = random_matrix(ts, ts, 6);
+  for (index_t j = 0; j < ts; ++j) {
+    for (index_t i = 0; i < ts; ++i) ad(i, j) *= 0.1;  // keep in half range
+  }
+  Matrix<Half> tile = testutil::convert<Half>(ad);
+  Matrix<Half> tau(1, ts, Half(0.0f));
+  qr::KernelConfig cfg;
+  cfg.tilesize = ts;
+  cfg.colperblock = 16;
+  ka::SerialBackend be;
+  qr::geqrt<Half>(be, tile.view(), 0, 0, tau.view(), cfg);
+  EXPECT_TRUE(ref::all_finite(ConstMatrixView<Half>(tile.view())));
+  // Norm preservation to half-storage accuracy.
+  double rnorm = 0.0;
+  auto fac = testutil::widen(tile);
+  for (index_t j = 0; j < ts; ++j) {
+    for (index_t i = 0; i <= j; ++i) rnorm += fac(i, j) * fac(i, j);
+  }
+  const double anorm = ref::fro_norm(ConstMatrixView<Half>(testutil::convert<Half>(ad).view()));
+  EXPECT_NEAR(std::sqrt(rnorm), anorm, 2e-2 * anorm);
+}
+
+TEST(Geqrt, TransposedViewFactorsTheTranspose) {
+  // geqrt on A' must equal geqrt on an explicit transpose (LQ mechanism).
+  const int ts = 16;
+  Matrix<double> a = random_matrix(ts, ts, 13);
+  Matrix<double> a_t(ts, ts);
+  for (index_t j = 0; j < ts; ++j) {
+    for (index_t i = 0; i < ts; ++i) a_t(i, j) = a(j, i);
+  }
+  Matrix<double> tau1(1, ts, 0.0);
+  Matrix<double> tau2(1, ts, 0.0);
+  qr::KernelConfig cfg;
+  cfg.tilesize = ts;
+  cfg.colperblock = 16;
+  ka::SerialBackend be;
+  Matrix<double> lazy = a;
+  qr::geqrt<double>(be, lazy.view().transposed(), 0, 0, tau1.view(), cfg);
+  qr::geqrt<double>(be, a_t.view(), 0, 0, tau2.view(), cfg);
+  // lazy result lives transposed inside `lazy`.
+  double max_err = 0.0;
+  for (index_t j = 0; j < ts; ++j) {
+    for (index_t i = 0; i < ts; ++i) {
+      max_err = std::max(max_err, std::abs(lazy(j, i) - a_t(i, j)));
+    }
+    max_err = std::max(max_err, std::abs(tau1(0, j) - tau2(0, j)));
+  }
+  EXPECT_EQ(max_err, 0.0);  // identical operations, identical rounding
+}

@@ -1,0 +1,133 @@
+/// Tests for the software binary16 type: exact round-trips, IEEE rounding,
+/// special values, subnormals, arithmetic semantics and numeric_limits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/half.hpp"
+
+using unisvd::Half;
+
+TEST(Half, ZeroAndSigns) {
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+  EXPECT_EQ(static_cast<float>(Half::from_bits(0x8000)), -0.0f);
+  EXPECT_TRUE(std::signbit(static_cast<float>(Half::from_bits(0x8000))));
+}
+
+TEST(Half, KnownValues) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3C00);
+  EXPECT_EQ(Half(-1.0f).bits(), 0xBC00);
+  EXPECT_EQ(Half(2.0f).bits(), 0x4000);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7BFF);   // max finite
+  EXPECT_EQ(Half(-65504.0f).bits(), 0xFBFF);
+  EXPECT_EQ(Half(6.103515625e-05f).bits(), 0x0400);  // min normal 2^-14
+  EXPECT_EQ(Half(5.9604644775390625e-08f).bits(), 0x0001);  // min subnormal 2^-24
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(unisvd::isinf(Half(65536.0f)));
+  EXPECT_TRUE(unisvd::isinf(Half(1e10f)));
+  EXPECT_TRUE(unisvd::isinf(Half(-1e10f)));
+  EXPECT_LT(static_cast<float>(Half(-1e10f)), 0.0f);
+  // 65520 is the smallest value that rounds up to infinity (RNE).
+  EXPECT_TRUE(unisvd::isinf(Half(65520.0f)));
+  EXPECT_EQ(Half(65519.996f).bits(), 0x7BFF);
+}
+
+TEST(Half, UnderflowToZero) {
+  EXPECT_EQ(Half(1e-30f).bits(), 0x0000);
+  EXPECT_EQ(Half(-1e-30f).bits(), 0x8000);
+  // Exactly half the smallest subnormal ties to even = 0.
+  EXPECT_EQ(Half(2.9802322387695312e-08f).bits(), 0x0000);
+  // Just above half the smallest subnormal rounds up.
+  EXPECT_EQ(Half(3.0e-08f).bits(), 0x0001);
+}
+
+TEST(Half, NanPropagation) {
+  const Half nan = Half(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(unisvd::isnan(nan));
+  EXPECT_FALSE(unisvd::isnan(Half(1.0f)));
+  EXPECT_TRUE(unisvd::isnan(nan + Half(1.0f)));
+  EXPECT_FALSE(nan == nan);
+  EXPECT_TRUE(std::isnan(static_cast<float>(nan)));
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: ties to even (1.0).
+  EXPECT_EQ(Half(1.0f + 4.8828125e-04f).bits(), 0x3C00);
+  // 1 + 3*2^-11 ties between 1+2^-10 and 1+2^-9: ties to even (1+2^-9).
+  EXPECT_EQ(Half(1.0f + 3 * 4.8828125e-04f).bits(), 0x3C02);
+  // Clearly above the tie rounds up.
+  EXPECT_EQ(Half(1.0f + 4.885e-04f).bits(), 0x3C01);
+}
+
+TEST(Half, RoundTripAllFiniteBitPatterns) {
+  // Every finite half converts to float and back bit-exactly.
+  for (std::uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(b));
+    if (unisvd::isnan(h)) continue;
+    const Half rt = Half(static_cast<float>(h));
+    EXPECT_EQ(rt.bits(), h.bits()) << "bits=" << b;
+  }
+}
+
+TEST(Half, ConversionIsMonotone) {
+  // Ordered bit patterns of positive halves map to ordered floats.
+  float prev = -1.0f;
+  for (std::uint32_t b = 0; b < 0x7C00; ++b) {
+    const float f = static_cast<float>(Half::from_bits(static_cast<std::uint16_t>(b)));
+    EXPECT_GT(f, prev - 1e-30f) << "bits=" << b;
+    prev = f;
+  }
+}
+
+TEST(Half, ArithmeticRoundsToStorage) {
+  // 1 + eps/2 == 1 in half arithmetic (storage rounding on the result).
+  const Half one(1.0f);
+  const Half tiny(4.8828125e-04f);  // 2^-11
+  EXPECT_EQ((one + tiny).bits(), one.bits());
+  const Half eps = std::numeric_limits<Half>::epsilon();
+  EXPECT_GT(float(one + eps), 1.0f);
+}
+
+TEST(Half, NumericLimits) {
+  using L = std::numeric_limits<Half>;
+  EXPECT_TRUE(L::is_specialized);
+  EXPECT_EQ(static_cast<float>(L::max()), 65504.0f);
+  EXPECT_EQ(static_cast<float>(L::min()), 6.103515625e-05f);
+  EXPECT_EQ(static_cast<float>(L::epsilon()), 9.765625e-04f);
+  EXPECT_EQ(static_cast<float>(L::denorm_min()), 5.9604644775390625e-08f);
+  EXPECT_TRUE(unisvd::isinf(L::infinity()));
+  EXPECT_TRUE(unisvd::isnan(L::quiet_NaN()));
+  EXPECT_EQ(L::digits, 11);
+}
+
+TEST(Half, UnaryMinusFlipsSignBit) {
+  EXPECT_EQ((-Half(1.5f)).bits(), Half(-1.5f).bits());
+  EXPECT_EQ((-Half(0.0f)).bits(), 0x8000);
+  EXPECT_TRUE(unisvd::isnan(-std::numeric_limits<Half>::quiet_NaN()));
+}
+
+TEST(Half, Comparisons) {
+  EXPECT_LT(Half(1.0f), Half(2.0f));
+  EXPECT_GT(Half(-1.0f), Half(-2.0f));
+  EXPECT_LE(Half(1.0f), Half(1.0f));
+  EXPECT_EQ(Half(0.0f), Half(-0.0f));  // IEEE: +0 == -0
+}
+
+TEST(Half, AbsAndSqrt) {
+  EXPECT_EQ(unisvd::abs(Half(-3.5f)).bits(), Half(3.5f).bits());
+  EXPECT_NEAR(static_cast<float>(unisvd::sqrt(Half(4.0f))), 2.0f, 1e-3f);
+}
+
+TEST(Half, SubnormalArithmetic) {
+  const Half dmin = std::numeric_limits<Half>::denorm_min();
+  const Half two_dmin = dmin + dmin;
+  EXPECT_EQ(two_dmin.bits(), 0x0002);
+  EXPECT_EQ(static_cast<float>(two_dmin), 2.0f * static_cast<float>(dmin));
+}

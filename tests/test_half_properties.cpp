@@ -1,0 +1,138 @@
+/// Property-based tests for the binary16 type: randomized algebraic laws
+/// checked against double-precision references over thousands of sampled
+/// operand pairs, plus targeted boundary sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/half.hpp"
+#include "rand/rng.hpp"
+
+using unisvd::Half;
+
+namespace {
+
+/// Random finite half via random bits (rejecting NaN/Inf).
+Half random_finite_half(unisvd::rnd::Xoshiro256& rng) {
+  for (;;) {
+    const auto bits = static_cast<std::uint16_t>(rng.next() & 0xFFFFu);
+    const Half h = Half::from_bits(bits);
+    if (unisvd::isfinite(h)) return h;
+  }
+}
+
+/// The correctly rounded half of a double: via float then half (float is
+/// exact for every half, and double->float->half double rounding is safe
+/// here because we only use it where the double is itself a float).
+Half half_of(float x) { return Half(x); }
+
+}  // namespace
+
+TEST(HalfProperty, AdditionMatchesFloatRounding) {
+  unisvd::rnd::Xoshiro256 rng(101);
+  for (int i = 0; i < 20000; ++i) {
+    const Half a = random_finite_half(rng);
+    const Half b = random_finite_half(rng);
+    const Half sum = a + b;
+    const Half expect = half_of(float(a) + float(b));
+    EXPECT_EQ(sum.bits(), expect.bits())
+        << float(a) << " + " << float(b);
+  }
+}
+
+TEST(HalfProperty, MultiplicationCommutes) {
+  unisvd::rnd::Xoshiro256 rng(102);
+  for (int i = 0; i < 20000; ++i) {
+    const Half a = random_finite_half(rng);
+    const Half b = random_finite_half(rng);
+    EXPECT_EQ((a * b).bits(), (b * a).bits());
+  }
+}
+
+TEST(HalfProperty, AdditionCommutes) {
+  unisvd::rnd::Xoshiro256 rng(103);
+  for (int i = 0; i < 20000; ++i) {
+    const Half a = random_finite_half(rng);
+    const Half b = random_finite_half(rng);
+    EXPECT_EQ((a + b).bits(), (b + a).bits());
+  }
+}
+
+TEST(HalfProperty, SubtractionOfSelfIsZero) {
+  unisvd::rnd::Xoshiro256 rng(104);
+  for (int i = 0; i < 5000; ++i) {
+    const Half a = random_finite_half(rng);
+    EXPECT_EQ(float(a - a), 0.0f);
+  }
+}
+
+TEST(HalfProperty, NegationIsInvolutive) {
+  for (std::uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(b));
+    EXPECT_EQ((-(-h)).bits(), h.bits());
+  }
+}
+
+TEST(HalfProperty, AbsNonNegativeAndIdempotent) {
+  for (std::uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(b));
+    const Half a = unisvd::abs(h);
+    EXPECT_EQ(a.bits() & 0x8000u, 0u);
+    EXPECT_EQ(unisvd::abs(a).bits(), a.bits());
+  }
+}
+
+TEST(HalfProperty, ConversionRoundingNeverExceedsHalfUlp) {
+  // For random floats inside the normal half range, |half(x) - x| must be
+  // at most half an ulp of the result.
+  unisvd::rnd::Xoshiro256 rng(105);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = static_cast<float>((rng.uniform() * 2.0 - 1.0) * 60000.0);
+    if (std::abs(x) < 6.2e-5f) continue;  // stay in normal range
+    const Half h(x);
+    const float back = float(h);
+    const int exp = std::ilogb(back == 0.0f ? x : back);
+    const float ulp = std::ldexp(1.0f, exp - 10);
+    EXPECT_LE(std::abs(back - x), 0.5f * ulp + 1e-12f) << x;
+  }
+}
+
+TEST(HalfProperty, OrderingConsistentWithFloat) {
+  unisvd::rnd::Xoshiro256 rng(106);
+  for (int i = 0; i < 20000; ++i) {
+    const Half a = random_finite_half(rng);
+    const Half b = random_finite_half(rng);
+    EXPECT_EQ(a < b, float(a) < float(b));
+    EXPECT_EQ(a == b, float(a) == float(b));
+  }
+}
+
+TEST(HalfProperty, SaturationBoundary) {
+  // Largest float that still rounds to max-finite vs smallest that rounds
+  // to infinity (RNE boundary at 65520).
+  EXPECT_EQ(Half(65519.0f).bits(), 0x7BFF);
+  EXPECT_TRUE(unisvd::isinf(Half(65520.0f)));
+  EXPECT_TRUE(unisvd::isinf(Half(65521.0f)));
+  EXPECT_EQ(Half(-65519.0f).bits(), 0xFBFF);
+  EXPECT_TRUE(unisvd::isinf(Half(-65521.0f)));
+}
+
+TEST(HalfProperty, SubnormalLadderExact) {
+  // Every subnormal is an exact multiple of 2^-24.
+  for (std::uint16_t b = 1; b < 0x400; ++b) {
+    const float f = float(Half::from_bits(b));
+    EXPECT_EQ(f, static_cast<float>(b) * 5.9604644775390625e-08f);
+  }
+}
+
+TEST(HalfProperty, DivisionByPowersOfTwoIsExact) {
+  unisvd::rnd::Xoshiro256 rng(107);
+  for (int i = 0; i < 5000; ++i) {
+    Half h = random_finite_half(rng);
+    // Keep away from the subnormal floor so the halving stays exact.
+    if (std::abs(float(h)) < 1.0f || !unisvd::isfinite(h)) continue;
+    const Half halved = h / Half(2.0f);
+    EXPECT_EQ(float(halved), float(h) / 2.0f);
+  }
+}

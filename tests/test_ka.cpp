@@ -1,0 +1,192 @@
+/// Tests for the kernel-abstraction runtime: thread pool, workgroup model
+/// (items/barrier semantics, local and private memory), backends and trace
+/// recording.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ka/backend.hpp"
+#include "ka/stage_times.hpp"
+
+using namespace unisvd;
+
+TEST(ThreadPool, RunsAllIndicesExactlyOnce) {
+  ka::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](index_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingleRange) {
+  ka::ThreadPool pool(4);
+  int count = 0;
+  pool.parallel_for(0, [&](index_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.parallel_for(1, [&](index_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ka::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](index_t i) {
+                                   if (i == 37) throw Error("boom");
+                                 }),
+               Error);
+  // Pool stays usable after an exception.
+  std::atomic<int> n{0};
+  pool.parallel_for(10, [&](index_t) { n++; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ka::ThreadPool pool(3);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(50, [&](index_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 49 * 50 / 2);
+  }
+}
+
+TEST(ThreadPool, SingleThreadedPoolWorks) {
+  ka::ThreadPool pool(1);
+  std::atomic<int> n{0};
+  pool.parallel_for(64, [&](index_t) { n++; });
+  EXPECT_EQ(n.load(), 64);
+}
+
+namespace {
+
+/// A kernel exercising private persistence across phases, local-memory
+/// sharing and barrier ordering: each item accumulates a per-item value,
+/// items exchange through local memory, result written per group.
+void run_exchange_kernel(ka::Backend& be, std::vector<double>& out, int group_size) {
+  ka::LaunchDesc desc;
+  desc.name = "exchange";
+  desc.num_groups = static_cast<index_t>(out.size());
+  desc.group_size = group_size;
+  double* outp = out.data();
+  be.launch(desc, [outp, group_size](ka::WorkGroupCtx& wg) {
+    auto mine = wg.priv<double>(1);
+    auto shared = wg.local<double>(static_cast<std::size_t>(group_size));
+    wg.items([&](int t) { mine(t)[0] = t + 1.0; });            // phase 1
+    wg.items([&](int t) { shared[t] = mine(t)[0] * 2.0; });    // phase 2
+    wg.items([&](int t) {                                      // phase 3
+      // Every item reads every slot: requires the barrier between phases.
+      double s = 0.0;
+      for (int q = 0; q < group_size; ++q) s += shared[q];
+      mine(t)[0] = s;
+    });
+    wg.items([&](int t) {
+      if (t == 0) outp[wg.group_id()] = mine(t)[0];
+    });
+  });
+}
+
+}  // namespace
+
+TEST(Workgroup, PhasesActAsBarriers) {
+  const int gs = 16;
+  const double expect = 2.0 * gs * (gs + 1) / 2.0;
+  for (auto* be : {static_cast<ka::Backend*>(nullptr)}) {
+    (void)be;
+  }
+  ka::SerialBackend serial;
+  ka::CpuBackend cpu(4);
+  std::vector<double> out_serial(33, 0.0);
+  std::vector<double> out_cpu(33, 0.0);
+  run_exchange_kernel(serial, out_serial, gs);
+  run_exchange_kernel(cpu, out_cpu, gs);
+  for (std::size_t g = 0; g < out_serial.size(); ++g) {
+    EXPECT_DOUBLE_EQ(out_serial[g], expect);
+    EXPECT_DOUBLE_EQ(out_cpu[g], out_serial[g]);  // backend equivalence
+  }
+}
+
+TEST(Workgroup, GroupIdsCoverGrid) {
+  ka::CpuBackend cpu(4);
+  std::vector<std::atomic<int>> seen(57);
+  ka::LaunchDesc desc;
+  desc.name = "ids";
+  desc.num_groups = 57;
+  desc.group_size = 3;
+  cpu.launch(desc, [&](ka::WorkGroupCtx& wg) {
+    wg.items([&](int t) {
+      if (t == 0) seen[static_cast<std::size_t>(wg.group_id())]++;
+    });
+  });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(Workgroup, LocalMemoryIsPerGroup) {
+  // Groups must not observe each other's local memory: each group writes a
+  // group-dependent pattern and validates it after a phase boundary.
+  ka::CpuBackend cpu(8);
+  std::atomic<int> failures{0};
+  ka::LaunchDesc desc;
+  desc.name = "isolation";
+  desc.num_groups = 64;
+  desc.group_size = 8;
+  cpu.launch(desc, [&](ka::WorkGroupCtx& wg) {
+    auto buf = wg.local<long>(8);
+    wg.items([&](int t) { buf[t] = static_cast<long>(wg.group_id()) * 100 + t; });
+    wg.items([&](int t) {
+      if (buf[t] != static_cast<long>(wg.group_id()) * 100 + t) failures++;
+    });
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Backend, TraceRecorderCapturesLaunches) {
+  ka::SerialBackend be;
+  ka::TraceRecorder trace;
+  be.set_trace(&trace);
+  ka::LaunchDesc d1;
+  d1.name = "a";
+  d1.num_groups = 3;
+  d1.group_size = 2;
+  d1.cost.flops = 100.0;
+  ka::LaunchDesc d2;
+  d2.name = "b";
+  d2.num_groups = 5;
+  d2.group_size = 4;
+  be.launch(d1, [](ka::WorkGroupCtx&) {});
+  be.launch(d2, [](ka::WorkGroupCtx&) {});
+  ASSERT_EQ(trace.records().size(), 2u);
+  EXPECT_EQ(trace.records()[0].name, "a");
+  EXPECT_EQ(trace.records()[0].cost.flops, 100.0);
+  EXPECT_EQ(trace.records()[1].num_groups, 5);
+}
+
+TEST(Backend, TraceBackendDoesNotExecute) {
+  ka::TraceBackend be;
+  EXPECT_FALSE(be.executes());
+  int executed = 0;
+  ka::LaunchDesc d;
+  d.name = "noop";
+  d.num_groups = 10;
+  d.group_size = 1;
+  be.launch(d, [&](ka::WorkGroupCtx&) { executed++; });
+  EXPECT_EQ(executed, 0);
+}
+
+TEST(StageTimes, AccumulatesPerStage) {
+  ka::StageTimes t;
+  t.add(ka::Stage::PanelFactorization, 1.0);
+  t.add(ka::Stage::PanelFactorization, 0.5);
+  t.add(ka::Stage::TrailingUpdate, 2.0);
+  EXPECT_DOUBLE_EQ(t.get(ka::Stage::PanelFactorization), 1.5);
+  EXPECT_DOUBLE_EQ(t.get(ka::Stage::TrailingUpdate), 2.0);
+  EXPECT_DOUBLE_EQ(t.total(), 3.5);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+}
+
+TEST(Backend, DefaultBackendIsCpu) {
+  EXPECT_EQ(ka::default_backend().name(), "cpu");
+  EXPECT_TRUE(ka::default_backend().executes());
+}

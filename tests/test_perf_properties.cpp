@@ -1,0 +1,210 @@
+/// Property tests of the performance model: monotonicity in device
+/// resources, scale invariances, spill/lane-efficiency behaviour, and the
+/// synthetic Stage-2/3 schedule laws. Uses synthetic DeviceSpecs so the
+/// properties are checked independently of the Table 2 profiles.
+
+#include <gtest/gtest.h>
+
+#include "sim/library_model.hpp"
+#include "sim/occupancy.hpp"
+#include "sim/perf_model.hpp"
+
+using namespace unisvd;
+using namespace unisvd::sim;
+
+namespace {
+
+DeviceSpec base_device() {
+  DeviceSpec d;
+  d.name = "synthetic";
+  d.vendor = "NVIDIA";
+  d.num_cu = 64;
+  d.max_threads_per_cu = 2048;
+  d.max_wgs_per_cu = 32;
+  d.warp_size = 32;
+  d.l1_kb_per_cu = 128;
+  d.regfile_kb_per_cu = 256;
+  d.mem_gb = 32;
+  d.mem_bw_gbs = 1000;
+  d.fp32_tflops = 20;
+  d.fp64_scale = 0.5;
+  d.fp16 = Fp16Mode::Upcast;
+  d.launch_overhead_us = 4;
+  d.barrier_ns = 100;
+  return d;
+}
+
+ka::LaunchDesc big_trailing() {
+  ka::LaunchDesc d;
+  d.name = "ftsmqr";
+  d.stage = ka::Stage::TrailingUpdate;
+  d.num_groups = 4096;
+  d.group_size = 32;
+  d.local_bytes = 256;
+  d.private_bytes_per_item = 260;
+  d.precision = Precision::FP32;
+  d.cost.flops = 1e11;
+  d.cost.bytes_read = 2e9;
+  d.cost.bytes_written = 1e9;
+  d.cost.serial_iterations = 64;
+  return d;
+}
+
+}  // namespace
+
+TEST(PerfProperty, FasterDeviceIsNeverSlower) {
+  const auto d = big_trailing();
+  auto slow = base_device();
+  auto fast = base_device();
+  fast.fp32_tflops *= 2;
+  fast.mem_bw_gbs *= 2;
+  fast.num_cu *= 2;
+  EXPECT_LE(PerfModel(fast).launch_seconds(d), PerfModel(slow).launch_seconds(d));
+}
+
+TEST(PerfProperty, TimeScalesWithWork) {
+  const PerfModel m(base_device());
+  auto d1 = big_trailing();
+  auto d2 = d1;
+  d2.cost.flops *= 3;
+  d2.cost.bytes_read *= 3;
+  d2.cost.bytes_written *= 3;
+  d2.num_groups *= 3;
+  const double t1 = m.launch_seconds(d1);
+  const double t2 = m.launch_seconds(d2);
+  EXPECT_NEAR(t2 / t1, 3.0, 0.6);  // ~linear beyond saturation
+}
+
+TEST(PerfProperty, BandwidthBoundKernelTracksBandwidth) {
+  auto d = big_trailing();
+  d.cost.flops = 1.0;  // pure memory
+  auto dev1 = base_device();
+  auto dev2 = base_device();
+  dev2.mem_bw_gbs *= 4;
+  const double t1 = PerfModel(dev1).launch_seconds(d);
+  const double t2 = PerfModel(dev2).launch_seconds(d);
+  EXPECT_NEAR(t1 / t2, 4.0, 0.8);
+}
+
+TEST(PerfProperty, LaunchOverheadDominatesEmptyKernels) {
+  auto dev = base_device();
+  dev.launch_overhead_us = 100;
+  ka::LaunchDesc d;
+  d.name = "noop";
+  d.num_groups = 1;
+  d.group_size = 32;
+  const double t = PerfModel(dev).launch_seconds(d);
+  EXPECT_NEAR(t, 100e-6, 20e-6);
+}
+
+TEST(PerfProperty, ExecutionStyleScalesApply) {
+  const auto d = big_trailing();
+  const PerfModel plain(base_device());
+  ExecutionStyle fast_style;
+  fast_style.efficiency_scale = 2.0;
+  fast_style.launch_overhead_scale = 0.0;
+  const PerfModel styled(base_device(), fast_style);
+  EXPECT_LT(styled.launch_seconds(d), plain.launch_seconds(d));
+}
+
+TEST(PerfProperty, PanelSpillRaisesTimeMonotonically) {
+  // At fixed thread count and work, growing a panel kernel's per-item
+  // private footprint past L1 must never make it faster (spill penalty).
+  auto dev = base_device();
+  dev.l1_kb_per_cu = 16;
+  double prev = 0.0;
+  for (std::size_t priv : {128ull, 512ull, 1024ull, 4096ull}) {
+    ka::LaunchDesc d;
+    d.name = "geqrt";
+    d.stage = ka::Stage::PanelFactorization;
+    d.num_groups = 1;
+    d.group_size = 64;
+    d.local_bytes = 1024;
+    d.private_bytes_per_item = priv;
+    d.precision = Precision::FP64;
+    d.cost.flops = 1e8;  // fixed work: only footprint changes
+    d.cost.bytes_read = 1e6;
+    d.cost.serial_iterations = 1;
+    const double t = PerfModel(dev).launch_seconds(d);
+    EXPECT_GE(t, prev * 0.999) << priv;
+    prev = t;
+  }
+}
+
+TEST(PerfProperty, PartialWarpsLoseThroughput) {
+  const PerfModel m(base_device());
+  auto full = big_trailing();
+  full.group_size = 32;  // exactly one warp
+  auto partial = full;
+  partial.group_size = 16;          // half a warp idle
+  partial.num_groups = full.num_groups * 2;  // same total threads & work
+  EXPECT_GT(m.launch_seconds(partial), m.launch_seconds(full) * 1.05);
+}
+
+TEST(PerfProperty, Phase2ScheduleScalesWithBandwidthParameter) {
+  const auto p32 = phase2_schedule(4096, 32, Precision::FP32);
+  const auto p64 = phase2_schedule(4096, 64, Precision::FP32);
+  double f32 = 0.0;
+  double f64 = 0.0;
+  for (const auto& d : p32) f32 += d.cost.flops;
+  for (const auto& d : p64) f64 += d.cost.flops;
+  EXPECT_NEAR(f64 / f32, 2.0, 0.05);       // flops ~ n^2 * bw
+  EXPECT_GT(p32.size(), p64.size());       // more, smaller waves
+}
+
+TEST(PerfProperty, Phase2EmptyForBidiagonalInput) {
+  EXPECT_TRUE(phase2_schedule(1024, 1, Precision::FP32).empty());
+  EXPECT_TRUE(phase2_schedule(1, 8, Precision::FP32).empty());
+}
+
+TEST(PerfProperty, Phase3IsHostSideAndQuadratic) {
+  const auto r1 = phase3_record(1024, Precision::FP32);
+  const auto r2 = phase3_record(2048, Precision::FP32);
+  EXPECT_EQ(r1.stage, ka::Stage::BidiagonalToDiagonal);
+  EXPECT_NEAR(r2.cost.flops / r1.cost.flops, 4.0, 0.01);
+  // Host records are timed against the host, not the device: a device with
+  // zero-bandwidth memory must not affect them.
+  auto dev = base_device();
+  const double t = PerfModel(dev).launch_seconds(r1);
+  dev.mem_bw_gbs = 1;
+  EXPECT_EQ(PerfModel(dev).launch_seconds(r1), t);
+}
+
+TEST(PerfProperty, OccupancyNeverExceedsDeviceLimits) {
+  for (int gs : {8, 32, 64, 256, 1024}) {
+    for (std::size_t priv : {0ull, 64ull, 1024ull, 8192ull}) {
+      ka::LaunchDesc d;
+      d.name = "unmqr";
+      d.group_size = gs;
+      d.private_bytes_per_item = priv;
+      d.local_bytes = 512;
+      const auto occ = occupancy_of(base_device(), d);
+      EXPECT_GE(occ.wgs_per_cu, 1);
+      EXPECT_LE(occ.wgs_per_cu, base_device().max_wgs_per_cu);
+      EXPECT_LE(occ.wgs_per_cu * gs, base_device().max_threads_per_cu + gs);
+    }
+  }
+}
+
+TEST(PerfProperty, UnifiedModelMonotoneInSize) {
+  double prev = 0.0;
+  for (index_t n : {512, 1024, 2048, 4096, 8192}) {
+    const double t = unified_model().seconds(h100(), n, Precision::FP32);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PerfProperty, AllLibraryModelsPositiveAndFinite) {
+  for (const auto* lib : {&unified_model(), &cusolver_model(), &rocsolver_model(),
+                          &onemkl_model(), &magma_model(), &slate_model()}) {
+    for (const auto* dev : all_devices()) {
+      for (const auto p : {Precision::FP16, Precision::FP32, Precision::FP64}) {
+        if (!lib->supports(*dev, p)) continue;
+        const double t = lib->seconds(*dev, 1024, p);
+        EXPECT_GT(t, 0.0) << lib->name() << " " << dev->name;
+        EXPECT_TRUE(std::isfinite(t)) << lib->name() << " " << dev->name;
+      }
+    }
+  }
+}

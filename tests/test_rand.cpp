@@ -1,0 +1,137 @@
+/// Random generation tests: RNG determinism and quality basics, spectrum
+/// shapes, orthogonality of generated factors, exactness of constructed
+/// spectra (the Table 1 test-matrix machinery).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/jacobi.hpp"
+#include "common/linalg_ref.hpp"
+#include "rand/matrix_gen.hpp"
+#include "rand/rng.hpp"
+#include "rand/spectrum.hpp"
+#include "test_util.hpp"
+
+using namespace unisvd;
+
+TEST(Rng, DeterministicBySeed) {
+  rnd::Xoshiro256 a(42);
+  rnd::Xoshiro256 b(42);
+  rnd::Xoshiro256 c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+    if (x != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  rnd::Xoshiro256 rng(7);
+  double mn = 1.0;
+  double mx = 0.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  rnd::Xoshiro256 rng(11);
+  const int n = 50000;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    s1 += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s1 / n, 0.0, 0.03);
+  EXPECT_NEAR(s2 / n, 1.0, 0.05);
+}
+
+TEST(Spectrum, ArithmeticShape) {
+  const auto s = rnd::arithmetic_spectrum(10);
+  EXPECT_DOUBLE_EQ(s.front(), 1.0);
+  EXPECT_DOUBLE_EQ(s.back(), 0.1);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_NEAR(s[i - 1] - s[i], 0.1, 1e-12);  // even spacing
+  }
+}
+
+TEST(Spectrum, LogarithmicShape) {
+  const auto s = rnd::logarithmic_spectrum(9, 4.0);
+  EXPECT_DOUBLE_EQ(s.front(), 1.0);
+  EXPECT_NEAR(s.back(), 1e-4, 1e-12);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_NEAR(s[i] / s[i - 1], s[1] / s[0], 1e-9);  // constant ratio
+  }
+}
+
+TEST(Spectrum, QuarterCircleShape) {
+  const auto s = rnd::quarter_circle_spectrum(1000);
+  // Descending, inside (0, 1), median of the quarter-circle law ~ 0.404
+  // (solve (2/pi)(x sqrt(1-x^2) + asin x) = 1/2).
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_GE(s[i - 1], s[i]);
+  EXPECT_GT(s.front(), 0.99);
+  EXPECT_LT(s.back(), 0.05);
+  EXPECT_NEAR(s[500], 0.404, 0.02);
+}
+
+TEST(MatrixGen, HaarFactorIsOrthogonal) {
+  rnd::Xoshiro256 rng(3);
+  const auto q = rnd::haar_orthogonal(24, rng);
+  EXPECT_LT(ref::orthogonality_defect(ConstMatrixView<double>(q.view())), 1e-12);
+}
+
+TEST(MatrixGen, SpectrumExactlyEmbedded) {
+  rnd::Xoshiro256 rng(4);
+  const auto sigma = rnd::logarithmic_spectrum(20, 3.0);
+  const auto a = rnd::matrix_with_spectrum(sigma, rng);
+  const auto sv = baseline::jacobi_svdvals(a.view());
+  EXPECT_LT(ref::rel_sv_error(sv, sigma), 1e-13);
+}
+
+TEST(MatrixGen, FastConstructionSpectrumExact) {
+  rnd::Xoshiro256 rng(5);
+  const auto sigma = rnd::arithmetic_spectrum(32);
+  const auto a = rnd::matrix_with_spectrum_fast(sigma, rng, 16);
+  const auto sv = baseline::jacobi_svdvals(a.view());
+  EXPECT_LT(ref::rel_sv_error(sv, sigma), 1e-13);
+}
+
+TEST(MatrixGen, FastConstructionMixesMass) {
+  // Reflector products must spread the diagonal mass off-diagonal.
+  rnd::Xoshiro256 rng(6);
+  const auto sigma = rnd::arithmetic_spectrum(16);
+  const auto a = rnd::matrix_with_spectrum_fast(sigma, rng, 8);
+  double off = 0.0;
+  double total = 0.0;
+  for (index_t j = 0; j < 16; ++j) {
+    for (index_t i = 0; i < 16; ++i) {
+      const double v = a(i, j) * a(i, j);
+      total += v;
+      if (i != j) off += v;
+    }
+  }
+  EXPECT_GT(off / total, 0.5);
+}
+
+TEST(MatrixGen, RoundToHalfIsLossy) {
+  rnd::Xoshiro256 rng(8);
+  const auto a = rnd::gaussian_matrix(16, 16, rng);
+  const auto h = rnd::round_to<Half>(a);
+  const auto back = testutil::widen(h);
+  const double diff = ref::fro_diff(back.view(), a.view());
+  EXPECT_GT(diff, 0.0);
+  EXPECT_LT(diff, 1e-3 * ref::fro_norm(a.view()) * 16.0);
+}

@@ -1,0 +1,207 @@
+/// End-to-end tests of the unified svd_values API: accuracy across
+/// precisions, sizes and spectra (the Table 1 protocol at test scale),
+/// padding, degenerate inputs, failure injection, determinism, and
+/// agreement with both baselines.
+
+#include <gtest/gtest.h>
+
+#include "baseline/jacobi.hpp"
+#include "baseline/onestage.hpp"
+#include "common/linalg_ref.hpp"
+#include "core/svd.hpp"
+#include "rand/matrix_gen.hpp"
+#include "rand/spectrum.hpp"
+#include "test_util.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+SvdConfig small_config(int ts = 8) {
+  SvdConfig cfg;
+  cfg.kernels.tilesize = ts;
+  cfg.kernels.colperblock = std::min(8, ts);
+  return cfg;
+}
+
+std::vector<double> to_doubles(const std::vector<float>& v) {
+  return {v.begin(), v.end()};
+}
+
+}  // namespace
+
+struct PipelineCase {
+  index_t n;
+  int ts;
+  rnd::Spectrum spectrum;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineSweep, Fp64RecoversKnownSpectrum) {
+  const auto [n, ts, spectrum] = GetParam();
+  rnd::Xoshiro256 rng(2000 + n + ts);
+  const auto sigma = rnd::make_spectrum(spectrum, n);
+  const auto a = rnd::matrix_with_spectrum(sigma, rng);
+  const auto rep = svd_values_report<double>(a.view(), small_config(ts));
+  ASSERT_EQ(rep.values.size(), static_cast<std::size_t>(n));
+  EXPECT_LT(ref::rel_sv_error(rep.values, sigma), 1e-12);
+  // Stage accounting covered all four stages.
+  EXPECT_GT(rep.stage_times.get(ka::Stage::PanelFactorization), 0.0);
+  EXPECT_GT(rep.stage_times.get(ka::Stage::BidiagonalToDiagonal), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrices, PipelineSweep,
+    ::testing::Values(PipelineCase{16, 8, rnd::Spectrum::Arithmetic},
+                      PipelineCase{24, 8, rnd::Spectrum::Logarithmic},
+                      PipelineCase{32, 8, rnd::Spectrum::QuarterCircle},
+                      PipelineCase{40, 16, rnd::Spectrum::Arithmetic},
+                      PipelineCase{64, 16, rnd::Spectrum::Logarithmic},
+                      PipelineCase{96, 32, rnd::Spectrum::QuarterCircle},
+                      PipelineCase{100, 16, rnd::Spectrum::Arithmetic},  // padding
+                      PipelineCase{33, 16, rnd::Spectrum::Logarithmic},  // padding
+                      PipelineCase{5, 8, rnd::Spectrum::Arithmetic}),    // n < ts
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_ts" + std::to_string(info.param.ts) +
+             "_" + std::string(to_string(info.param.spectrum)).substr(0, 4);
+    });
+
+TEST(SvdPipeline, Fp32Accuracy) {
+  const index_t n = 64;
+  rnd::Xoshiro256 rng(1);
+  const auto sigma = rnd::make_spectrum(rnd::Spectrum::Logarithmic, n);
+  const auto ad = rnd::matrix_with_spectrum(sigma, rng);
+  const auto af = testutil::convert<float>(ad);
+  const auto sv = svd_values<float>(af.view(), small_config(16));
+  EXPECT_LT(ref::rel_sv_error(to_doubles(sv), sigma), 5e-6);
+}
+
+TEST(SvdPipeline, Fp16Accuracy) {
+  const index_t n = 64;
+  rnd::Xoshiro256 rng(2);
+  const auto sigma = rnd::make_spectrum(rnd::Spectrum::Arithmetic, n);
+  const auto ad = rnd::matrix_with_spectrum(sigma, rng);
+  const auto ah = testutil::convert<Half>(ad);
+  const auto rep = svd_values_report<Half>(ah.view(), small_config(16));
+  // Half-storage error level (paper Table 1: ~1e-3..1e-2).
+  EXPECT_LT(ref::rel_sv_error(rep.values, sigma), 3e-2);
+  EXPECT_GT(ref::rel_sv_error(rep.values, sigma), 1e-7);  // genuinely half
+}
+
+TEST(SvdPipeline, MatchesBothBaselines) {
+  const index_t n = 48;
+  rnd::Xoshiro256 rng(3);
+  const auto a = rnd::gaussian_matrix(n, n, rng);
+  const auto unified = svd_values_report<double>(a.view(), small_config(8)).values;
+  const auto jac = baseline::jacobi_svdvals(a.view());
+  const auto one = baseline::onestage_svdvals<double>(a.view());
+  EXPECT_LT(ref::rel_sv_error(unified, jac), 1e-11);
+  EXPECT_LT(ref::rel_sv_error(unified, one), 1e-11);
+}
+
+TEST(SvdPipeline, DeterministicAcrossThreadCounts) {
+  const index_t n = 40;
+  rnd::Xoshiro256 rng(4);
+  const auto a = rnd::gaussian_matrix(n, n, rng);
+  ka::CpuBackend be1(1);
+  ka::CpuBackend be8(8);
+  const auto v1 = svd_values_report<double>(a.view(), small_config(8), be1).values;
+  const auto v8 = svd_values_report<double>(a.view(), small_config(8), be8).values;
+  for (std::size_t i = 0; i < v1.size(); ++i) EXPECT_EQ(v1[i], v8[i]);
+}
+
+TEST(SvdPipeline, IdentityMatrix) {
+  const index_t n = 20;
+  Matrix<double> eye(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  const auto sv = svd_values<double>(eye.view(), small_config(8));
+  for (double s : sv) EXPECT_NEAR(s, 1.0, 1e-13);
+}
+
+TEST(SvdPipeline, ZeroMatrix) {
+  Matrix<double> z(16, 16, 0.0);
+  const auto sv = svd_values<double>(z.view(), small_config(8));
+  for (double s : sv) EXPECT_EQ(s, 0.0);
+}
+
+TEST(SvdPipeline, OneByOne) {
+  Matrix<double> a(1, 1);
+  a(0, 0) = -2.25;
+  const auto sv = svd_values<double>(a.view(), small_config(8));
+  ASSERT_EQ(sv.size(), 1u);
+  EXPECT_NEAR(sv[0], 2.25, 1e-15);
+}
+
+TEST(SvdPipeline, RankDeficient) {
+  // Outer product: rank 1, sigma_1 = |u||v|.
+  const index_t n = 24;
+  rnd::Xoshiro256 rng(5);
+  std::vector<double> u(static_cast<std::size_t>(n));
+  std::vector<double> v(static_cast<std::size_t>(n));
+  double nu = 0.0;
+  double nv = 0.0;
+  for (auto& x : u) {
+    x = rng.normal();
+    nu += x * x;
+  }
+  for (auto& x : v) {
+    x = rng.normal();
+    nv += x * x;
+  }
+  Matrix<double> a(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      a(i, j) = u[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(j)];
+    }
+  }
+  const auto sv = svd_values<double>(a.view(), small_config(8));
+  EXPECT_NEAR(sv[0], std::sqrt(nu * nv), 1e-10 * std::sqrt(nu * nv));
+  for (std::size_t i = 1; i < sv.size(); ++i) EXPECT_LT(sv[i], 1e-10 * sv[0]);
+}
+
+TEST(SvdPipeline, FailureInjection) {
+  Matrix<double> nan_mat(8, 8, 1.0);
+  nan_mat(3, 3) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(svd_values<double>(nan_mat.view(), small_config(8)), Error);
+
+  Matrix<double> inf_mat(8, 8, 1.0);
+  inf_mat(0, 7) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(svd_values<double>(inf_mat.view(), small_config(8)), Error);
+
+  // check_finite=false skips the scan (caller's responsibility).
+  SvdConfig loose = small_config(8);
+  loose.check_finite = false;
+  Matrix<double> ok(8, 8, 1.0);
+  EXPECT_NO_THROW(svd_values<double>(ok.view(), loose));
+
+  // Trace backend cannot execute a real factorization.
+  ka::TraceBackend trace;
+  EXPECT_THROW(svd_values<double>(ok.view(), small_config(8), trace), Error);
+
+  // Invalid kernel configuration.
+  SvdConfig bad;
+  bad.kernels.tilesize = 3;
+  EXPECT_THROW(svd_values<double>(ok.view(), bad), Error);
+}
+
+TEST(SvdPipeline, LargerTilesizeThanMatrixPads) {
+  const index_t n = 10;
+  rnd::Xoshiro256 rng(6);
+  const auto sigma = rnd::arithmetic_spectrum(n);
+  const auto a = rnd::matrix_with_spectrum(sigma, rng);
+  const auto rep = svd_values_report<double>(a.view(), small_config(32));
+  EXPECT_EQ(rep.padded_n, 32);
+  EXPECT_EQ(rep.values.size(), static_cast<std::size_t>(n));
+  EXPECT_LT(ref::rel_sv_error(rep.values, sigma), 1e-12);
+}
+
+TEST(SvdPipeline, ValuesReturnedInStoragePrecision) {
+  rnd::Xoshiro256 rng(7);
+  const auto ad = rnd::matrix_with_spectrum(rnd::arithmetic_spectrum(16), rng);
+  const auto ah = testutil::convert<Half>(ad);
+  const std::vector<Half> sv = svd_values<Half>(ah.view(), small_config(8));
+  ASSERT_EQ(sv.size(), 16u);
+  EXPECT_GT(float(sv.front()), 0.9f);
+  for (std::size_t i = 1; i < sv.size(); ++i) EXPECT_LE(float(sv[i]), float(sv[i - 1]));
+}

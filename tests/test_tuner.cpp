@@ -1,0 +1,46 @@
+/// Autotuner tests: candidate generation, ranking, determinism of the
+/// probe, validation.
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.hpp"
+#include "ka/backend.hpp"
+
+using namespace unisvd;
+
+TEST(Tuner, DefaultCandidatesRespectConstraints) {
+  const auto cands = core::default_candidates(64);
+  EXPECT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_LE(c.tilesize, 64);
+  }
+}
+
+TEST(Tuner, SmallMatrixGetsSmallTiles) {
+  const auto cands = core::default_candidates(16);
+  for (const auto& c : cands) EXPECT_LE(c.tilesize, 16);
+}
+
+TEST(Tuner, RanksAndReturnsBest) {
+  ka::CpuBackend be(4);
+  std::vector<qr::KernelConfig> cands;
+  for (int ts : {8, 16}) {
+    qr::KernelConfig c;
+    c.tilesize = ts;
+    c.colperblock = 8;
+    cands.push_back(c);
+  }
+  const auto result = core::autotune<float>(be, 64, cands);
+  ASSERT_EQ(result.all.size(), 2u);
+  EXPECT_LE(result.all[0].seconds, result.all[1].seconds);
+  EXPECT_EQ(result.best.tilesize, result.all[0].config.tilesize);
+  for (const auto& e : result.all) EXPECT_GT(e.seconds, 0.0);
+}
+
+TEST(Tuner, RejectsNonExecutingBackendAndBadArgs) {
+  ka::TraceBackend trace;
+  EXPECT_THROW(core::autotune<float>(trace, 32), Error);
+  ka::CpuBackend be(2);
+  EXPECT_THROW(core::autotune<float>(be, 32, {}, 0), Error);
+}

@@ -1,0 +1,144 @@
+/// Properties of the full unified launch schedule (the object the
+/// performance model consumes): stage coverage, leading-order flop counts,
+/// precision-dependent byte counts, fusion/launch-count laws, tuned-config
+/// integration.
+
+#include <gtest/gtest.h>
+
+#include "qr/kernel_config.hpp"
+#include "sim/library_model.hpp"
+#include "sim/tuning.hpp"
+
+using namespace unisvd;
+using namespace unisvd::sim;
+
+namespace {
+
+qr::KernelConfig cfg32() {
+  qr::KernelConfig c;
+  c.tilesize = 32;
+  c.colperblock = 32;
+  c.splitk = 8;
+  return c;
+}
+
+double total_flops(const std::vector<ka::LaunchDesc>& trace, ka::Stage stage) {
+  double f = 0.0;
+  for (const auto& d : trace) {
+    if (d.stage == stage) f += d.cost.flops;
+  }
+  return f;
+}
+
+double total_bytes(const std::vector<ka::LaunchDesc>& trace) {
+  double b = 0.0;
+  for (const auto& d : trace) b += d.cost.bytes_read + d.cost.bytes_written;
+  return b;
+}
+
+}  // namespace
+
+TEST(UnifiedSchedule, CoversAllFourStages) {
+  const auto trace = unified_schedule(1024, Precision::FP32, cfg32());
+  int seen[4] = {0, 0, 0, 0};
+  for (const auto& d : trace) seen[static_cast<int>(d.stage)]++;
+  EXPECT_GT(seen[0], 0);  // panel
+  EXPECT_GT(seen[1], 0);  // trailing
+  EXPECT_GT(seen[2], 0);  // band2bidiag
+  EXPECT_EQ(seen[3], 1);  // one host record
+}
+
+TEST(UnifiedSchedule, TrailingFlopsMatchLeadingOrderTheory) {
+  // Two-stage band reduction performs ~(8/3) n^3 flops, dominated by the
+  // trailing updates; the schedule totals must approach that as n grows.
+  for (index_t n : {2048, 8192}) {
+    const auto trace = unified_schedule(n, Precision::FP64, cfg32());
+    const double trailing = total_flops(trace, ka::Stage::TrailingUpdate);
+    const double x = static_cast<double>(n);
+    const double theory = (8.0 / 3.0) * x * x * x;
+    EXPECT_GT(trailing, 0.7 * theory) << n;
+    EXPECT_LT(trailing, 1.3 * theory) << n;
+  }
+}
+
+TEST(UnifiedSchedule, PanelFlopsAreLowerOrder) {
+  const auto trace = unified_schedule(8192, Precision::FP32, cfg32());
+  const double panel = total_flops(trace, ka::Stage::PanelFactorization);
+  const double trailing = total_flops(trace, ka::Stage::TrailingUpdate);
+  // Panel is O(n^2 ts): a vanishing fraction at scale.
+  EXPECT_LT(panel, 0.05 * trailing);
+}
+
+TEST(UnifiedSchedule, HalfPrecisionHalvesBytes) {
+  const auto t16 = unified_schedule(2048, Precision::FP16, cfg32());
+  const auto t32 = unified_schedule(2048, Precision::FP32, cfg32());
+  const auto t64 = unified_schedule(2048, Precision::FP64, cfg32());
+  ASSERT_EQ(t16.size(), t32.size());  // same schedule, different element size
+  // (Tolerance absorbs the Stage-3 host record, whose output is always
+  // written in double.)
+  EXPECT_NEAR(total_bytes(t16) * 2.0, total_bytes(t32), 1e-4 * total_bytes(t32));
+  EXPECT_NEAR(total_bytes(t32) * 2.0, total_bytes(t64), 1e-4 * total_bytes(t64));
+}
+
+TEST(UnifiedSchedule, FlopsIndependentOfColperblockAndSplitk) {
+  auto a = cfg32();
+  auto b = cfg32();
+  b.colperblock = 16;
+  b.splitk = 1;
+  const auto ta = unified_schedule(1024, Precision::FP32, a);
+  const auto tb = unified_schedule(1024, Precision::FP32, b);
+  // Computational parameters re-partition work but never change totals.
+  EXPECT_EQ(total_flops(ta, ka::Stage::TrailingUpdate),
+            total_flops(tb, ka::Stage::TrailingUpdate));
+  EXPECT_EQ(total_flops(ta, ka::Stage::PanelFactorization),
+            total_flops(tb, ka::Stage::PanelFactorization));
+}
+
+TEST(UnifiedSchedule, FusionReducesLaunchCountOnly) {
+  auto fused = cfg32();
+  auto unfused = cfg32();
+  unfused.fused = false;
+  const auto tf = unified_schedule(2048, Precision::FP32, fused);
+  const auto tu = unified_schedule(2048, Precision::FP32, unfused);
+  EXPECT_LT(tf.size(), tu.size() / 4);  // quadratic -> linear launches
+  EXPECT_NEAR(total_flops(tf, ka::Stage::TrailingUpdate),
+              total_flops(tu, ka::Stage::TrailingUpdate),
+              1e-9 * total_flops(tu, ka::Stage::TrailingUpdate));
+}
+
+TEST(UnifiedSchedule, LaunchCountScalesLinearlyWithTiles) {
+  const auto small = unified_schedule(1024, Precision::FP32, cfg32());
+  const auto large = unified_schedule(2048, Precision::FP32, cfg32());
+  // Fused: launches ~ c1 * ntiles + c2. Doubling n at fixed ts should
+  // roughly double the count, never quadruple it.
+  EXPECT_LT(large.size(), 3 * small.size());
+  EXPECT_GT(large.size(), small.size());
+}
+
+TEST(UnifiedSchedule, TunedConfigsValidateEverywhere) {
+  for (const auto* dev : all_devices()) {
+    for (const auto p : {Precision::FP16, Precision::FP32, Precision::FP64}) {
+      for (index_t n : {256, 4096, 32768}) {
+        const auto cfg = tuned_kernel_config(*dev, p, n);
+        EXPECT_NO_THROW(cfg.validate());
+      }
+    }
+  }
+}
+
+TEST(UnifiedSchedule, SimulationRejectsUnsupportedPrecision) {
+  const PerfModel m(m1pro());
+  const auto trace = unified_schedule(512, Precision::FP64, cfg32());
+  EXPECT_THROW((void)m.simulate(trace), Error);  // no FP64 on Metal
+}
+
+TEST(UnifiedSchedule, GroupSizesRespectDeviceModelAssumptions) {
+  const auto trace = unified_schedule(1024, Precision::FP32, cfg32());
+  for (const auto& d : trace) {
+    if (d.stage == ka::Stage::BidiagonalToDiagonal) continue;
+    EXPECT_GE(d.group_size, 1);
+    EXPECT_LE(d.group_size, 1024);
+    EXPECT_GE(d.num_groups, 1);
+    EXPECT_GE(d.cost.flops, 0.0);
+  }
+}

@@ -1,0 +1,84 @@
+#pragma once
+/// Shared helpers for the unisvd test suite: deterministic random matrices,
+/// precision conversion, and double-precision reference application of the
+/// reflector sets produced by the GEQRT/TSQRT kernels.
+
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/linalg_ref.hpp"
+#include "common/matrix.hpp"
+#include "rand/matrix_gen.hpp"
+#include "rand/rng.hpp"
+
+namespace testutil {
+
+using unisvd::ConstMatrixView;
+using unisvd::Matrix;
+using unisvd::MatrixView;
+using unisvd::index_t;
+
+inline Matrix<double> random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  unisvd::rnd::Xoshiro256 rng(seed);
+  return unisvd::rnd::gaussian_matrix(rows, cols, rng);
+}
+
+template <class T>
+Matrix<T> convert(const Matrix<double>& a) {
+  return unisvd::rnd::round_to<T>(a);
+}
+
+template <class T>
+Matrix<double> widen(const Matrix<T>& a) {
+  return unisvd::ref::to_double(a.view());
+}
+
+/// Apply Q^T from a GEQRT factorization (tile `fac` holding v tails below
+/// the diagonal, tau vector) to the columns of x, in double. Reflector k is
+/// H_k = I - tau[k] * v v^T with v = [0..0, 1, fac(k+1.., k)].
+inline void apply_geqrt_qt(const Matrix<double>& fac, const std::vector<double>& tau,
+                           Matrix<double>& x) {
+  const index_t ts = fac.rows();
+  for (index_t k = 0; k + 1 < ts; ++k) {
+    for (index_t j = 0; j < x.cols(); ++j) {
+      double rho = x(k, j);
+      for (index_t r = k + 1; r < ts; ++r) rho += fac(r, k) * x(r, j);
+      rho *= tau[static_cast<std::size_t>(k)];
+      x(k, j) -= rho;
+      for (index_t r = k + 1; r < ts; ++r) x(r, j) -= rho * fac(r, k);
+    }
+  }
+}
+
+/// Apply Q^T from a TSQRT factorization (B tile `vtails` holding the full
+/// tail of every reflector, tau) to a stacked pair [top; bot], in double.
+/// Reflector k is H_k = I - tau[k] * v v^T with v = [e_k (top); vtails(:,k)].
+inline void apply_tsqrt_qt(const Matrix<double>& vtails, const std::vector<double>& tau,
+                           Matrix<double>& top, Matrix<double>& bot) {
+  const index_t ts = vtails.rows();
+  for (index_t k = 0; k < ts; ++k) {
+    for (index_t j = 0; j < top.cols(); ++j) {
+      double rho = top(k, j);
+      for (index_t r = 0; r < ts; ++r) rho += vtails(r, k) * bot(r, j);
+      rho *= tau[static_cast<std::size_t>(k)];
+      top(k, j) -= rho;
+      for (index_t r = 0; r < ts; ++r) bot(r, j) -= rho * vtails(r, k);
+    }
+  }
+}
+
+/// Max |a(i,j)| over entries strictly outside the upper band [0, bw].
+template <class T>
+double max_outside_band(ConstMatrixView<T> a, index_t bw) {
+  double mx = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const index_t diag = j - i;
+      if (diag >= 0 && diag <= bw) continue;
+      mx = std::max(mx, std::abs(static_cast<double>(a.at(i, j))));
+    }
+  }
+  return mx;
+}
+
+}  // namespace testutil
