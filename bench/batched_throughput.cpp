@@ -1,0 +1,75 @@
+/// Batched SVD throughput: problems/sec versus batch size and matrix size,
+/// for all three storage precisions, comparing the inter-problem schedule
+/// (one problem per pool slot), the intra-problem schedule (sequential
+/// problems, parallel kernels) and Auto.
+///
+///   $ ./bench_batched_throughput [threads] [max_n]
+///
+/// The inter/intra ratio directly visualizes the scheduling crossover that
+/// BatchConfig::crossover_n encodes and core::tune_batch_crossover learns.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/half.hpp"
+#include "core/batch.hpp"
+#include "rand/matrix_gen.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+template <class T>
+void run_precision(ka::Backend& backend, index_t max_n) {
+  benchutil::print_header(std::string("batched svdvals throughput — ") +
+                          std::string(precision_traits<T>::name) + " (backend: " +
+                          std::string(backend.name()) + ")");
+  std::printf("%6s %6s | %12s %12s %12s | %9s\n", "n", "batch", "inter p/s",
+              "intra p/s", "auto p/s", "inter/intra");
+
+  rnd::Xoshiro256 rng(99);
+  for (const index_t n : {32, 64, 128, 256}) {
+    if (n > max_n) break;
+    for (const std::size_t batch_size : {std::size_t{1}, std::size_t{4},
+                                         std::size_t{16}, std::size_t{64}}) {
+      std::vector<Matrix<T>> problems;
+      std::vector<ConstMatrixView<T>> views;
+      problems.reserve(batch_size);
+      for (std::size_t p = 0; p < batch_size; ++p) {
+        problems.push_back(rnd::round_to<T>(rnd::gaussian_matrix(n, n, rng)));
+        views.push_back(problems.back().view());
+      }
+
+      const auto throughput = [&](BatchSchedule schedule) {
+        BatchConfig cfg;
+        cfg.schedule = schedule;
+        const double secs = benchutil::measure_seconds(
+            [&] { (void)svd_values_batched_report<T>(views, cfg, backend); }, 1, 0.2);
+        return static_cast<double>(batch_size) / secs;
+      };
+
+      const double inter = throughput(BatchSchedule::InterProblem);
+      const double intra = throughput(BatchSchedule::IntraProblem);
+      const double aut = throughput(BatchSchedule::Auto);
+      std::printf("%6lld %6zu | %12.1f %12.1f %12.1f | %9.2f\n",
+                  static_cast<long long>(n), batch_size, inter, intra, aut,
+                  inter / intra);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads_arg = argc > 1 ? std::atoi(argv[1]) : 0;
+  const unsigned threads = threads_arg > 0 ? static_cast<unsigned>(threads_arg) : 0;
+  const index_t max_n = argc > 2 ? std::atoll(argv[2]) : 128;
+  ka::CpuBackend backend(threads);
+  std::printf("pool width: %u threads\n", backend.pool().size());
+  run_precision<double>(backend, max_n);
+  run_precision<float>(backend, max_n);
+  run_precision<Half>(backend, max_n);
+  return 0;
+}

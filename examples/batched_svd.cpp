@@ -1,0 +1,73 @@
+/// Batched SVD demo: a ragged batch of independent problems — the
+/// serving-traffic regime — solved in one call, with the per-problem
+/// scheduling decision, per-stage accounting and the empirically learned
+/// inter/intra crossover.
+///
+///   $ ./batched_svd [threads]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/tuner.hpp"
+#include "rand/matrix_gen.hpp"
+
+using namespace unisvd;
+
+int main(int argc, char** argv) {
+  const int threads_arg = argc > 1 ? std::atoi(argv[1]) : 0;
+  const unsigned threads = threads_arg > 0 ? static_cast<unsigned>(threads_arg) : 0;
+  ka::CpuBackend backend(threads);
+  std::printf("unisvd batched demo — pool of %u threads\n", backend.pool().size());
+
+  // Ragged batch: a mix of shapes, as a request queue would hand us.
+  const std::pair<index_t, index_t> shapes[] = {
+      {48, 48}, {16, 16}, {200, 200}, {32, 32}, {96, 40}, {40, 96}, {64, 64}};
+  rnd::Xoshiro256 rng(5);
+  std::vector<Matrix<double>> problems;
+  std::vector<ConstMatrixView<double>> views;
+  for (const auto& [m, n] : shapes) {
+    problems.push_back(rnd::gaussian_matrix(m, n, rng));
+    views.push_back(problems.back().view());
+  }
+
+  BatchConfig cfg;  // Auto schedule: small problems share the pool,
+                    // the 200x200 one gets the whole backend to itself.
+  const auto rep = svd_values_batched_report<double>(views, cfg, backend);
+
+  std::printf("\n%4s %9s %9s %12s %12s\n", "#", "shape", "schedule", "sigma_1",
+              "sigma_min");
+  for (std::size_t p = 0; p < views.size(); ++p) {
+    char shape[32];
+    std::snprintf(shape, sizeof(shape), "%lldx%lld",
+                  static_cast<long long>(views[p].rows()),
+                  static_cast<long long>(views[p].cols()));
+    std::printf("%4zu %9s %9s %12.6f %12.6f\n", p, shape,
+                to_string(rep.schedules[p]), rep.reports[p].values.front(),
+                rep.reports[p].values.back());
+  }
+  std::printf("\nbatch wall clock: %.2f ms, %zu distinct pool threads, "
+              "summed stage time: %.2f ms\n",
+              1e3 * rep.seconds, rep.threads_used, 1e3 * rep.stage_times.total());
+
+  // Learn the crossover for this machine instead of trusting the default.
+  // Meaningless without a pool to run the inter schedule on, so skip then.
+  if (backend.pool().size() < 2) {
+    std::printf("\npool width 1: skipping the crossover probe (pass a thread "
+                "count >= 2 to see it)\n");
+    return 0;
+  }
+  const auto tuned = core::tune_batch_crossover<double>(backend, {32, 64, 128}, 6);
+  std::printf("\nschedule crossover probe (6 problems per size):\n");
+  for (const auto& s : tuned.samples) {
+    std::printf("  n=%4lld  inter %8.2f ms  intra %8.2f ms  -> %s wins\n",
+                static_cast<long long>(s.n), 1e3 * s.inter_seconds,
+                1e3 * s.intra_seconds,
+                s.inter_seconds <= s.intra_seconds ? "inter" : "intra");
+  }
+  std::printf("learned BatchConfig::crossover_n = %lld (default %lld)\n",
+              static_cast<long long>(tuned.crossover_n),
+              static_cast<long long>(BatchConfig{}.crossover_n));
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/half.hpp"
+#include "ka/thread_pool.hpp"
+
+namespace unisvd {
+
+namespace {
+
+/// Resolve Auto per problem; demote InterProblem when the backend cannot
+/// spread problems (no pool, or a pool of width 1).
+template <class T>
+std::vector<BatchSchedule> resolve_schedules(std::span<const ConstMatrixView<T>> batch,
+                                             const BatchConfig& config,
+                                             ka::Backend& backend) {
+  ka::ThreadPool* pool = backend.batch_pool();
+  const bool pool_usable = pool != nullptr && pool->size() > 1 && !pool->in_job();
+
+  std::vector<BatchSchedule> schedules(batch.size(), BatchSchedule::IntraProblem);
+  if (!pool_usable) return schedules;
+
+  if (config.schedule == BatchSchedule::InterProblem) {
+    std::fill(schedules.begin(), schedules.end(), BatchSchedule::InterProblem);
+    return schedules;
+  }
+  if (config.schedule == BatchSchedule::IntraProblem) return schedules;
+
+  std::size_t small = 0;
+  for (const auto& a : batch) {
+    if (std::max(a.rows(), a.cols()) <= config.crossover_n) ++small;
+  }
+  if (small < config.min_inter_problems) return schedules;
+  for (std::size_t p = 0; p < batch.size(); ++p) {
+    if (std::max(batch[p].rows(), batch[p].cols()) <= config.crossover_n) {
+      schedules[p] = BatchSchedule::InterProblem;
+    }
+  }
+  return schedules;
+}
+
+}  // namespace
+
+template <class T>
+BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
+                                      const BatchConfig& config,
+                                      ka::Backend& backend) {
+  config.validate();
+  UNISVD_REQUIRE(backend.executes(),
+                 "svd_values_batched: backend does not execute kernels");
+
+  BatchReport rep;
+  rep.reports.resize(batch.size());
+  rep.schedules = resolve_schedules(batch, config, backend);
+  if (batch.empty()) return rep;
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::size_t> inter;
+  std::vector<std::size_t> intra;
+  for (std::size_t p = 0; p < batch.size(); ++p) {
+    (rep.schedules[p] == BatchSchedule::InterProblem ? inter : intra).push_back(p);
+  }
+
+  std::vector<std::thread::id> problem_threads(batch.size());
+
+  // Inter-problem pass: one problem per pool slot. Inside a slot the
+  // problem's own kernel launches run inline (ThreadPool reentrancy), so
+  // per-problem SvdReports — stage times included — are written by exactly
+  // one thread each and never race.
+  if (!inter.empty()) {
+    ka::ThreadPool& pool = *backend.batch_pool();
+    pool.parallel_for(static_cast<index_t>(inter.size()), [&](index_t k) {
+      const std::size_t p = inter[static_cast<std::size_t>(k)];
+      problem_threads[p] = std::this_thread::get_id();
+      rep.reports[p] = svd_values_report<T>(batch[p], config.svd, backend);
+    });
+  }
+
+  // Intra-problem pass: sequential over problems, full backend per problem.
+  for (const std::size_t p : intra) {
+    problem_threads[p] = std::this_thread::get_id();
+    rep.reports[p] = svd_values_report<T>(batch[p], config.svd, backend);
+  }
+
+  rep.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count();
+
+  std::vector<std::thread::id> distinct(problem_threads);
+  std::sort(distinct.begin(), distinct.end());
+  rep.threads_used = static_cast<std::size_t>(
+      std::unique(distinct.begin(), distinct.end()) - distinct.begin());
+
+  for (const auto& r : rep.reports) {
+    rep.stage_times += r.stage_times;
+  }
+  return rep;
+}
+
+template BatchReport svd_values_batched_report<Half>(
+    std::span<const ConstMatrixView<Half>>, const BatchConfig&, ka::Backend&);
+template BatchReport svd_values_batched_report<float>(
+    std::span<const ConstMatrixView<float>>, const BatchConfig&, ka::Backend&);
+template BatchReport svd_values_batched_report<double>(
+    std::span<const ConstMatrixView<double>>, const BatchConfig&, ka::Backend&);
+
+}  // namespace unisvd

@@ -1,0 +1,122 @@
+#pragma once
+/// \file batch.hpp
+/// Batched singular value computation: many independent SVD problems
+/// solved in one call, the serving-scale regime of batched GPU solvers
+/// (Abdelfattah et al.; Boukaram et al.) layered on the unified pipeline.
+///
+/// Two scheduling policies, chosen per problem:
+///
+///   * InterProblem — one problem per ka::ThreadPool slot. Each problem
+///     runs its full pipeline on one thread (nested kernel launches execute
+///     inline; see ThreadPool::parallel_for reentrancy), so many small
+///     matrices saturate the pool with zero launch synchronization between
+///     them.
+///   * IntraProblem — problems run one after another, each using the whole
+///     backend for its own kernel launches. Right for matrices big enough
+///     that a single problem can occupy every core.
+///
+/// BatchSchedule::Auto picks per problem by a size crossover
+/// (BatchConfig::crossover_n), which core/tuner.hpp can learn empirically
+/// (tune_batch_crossover). Batches may be uniform or ragged: any mix of
+/// sizes, shapes (rectangular supported) — precision is fixed per call by
+/// the element type. Results are identical to looping svd_values one
+/// matrix at a time, whichever schedule runs. One caveat: with a
+/// TraceRecorder attached, an inter-problem run interleaves launch records
+/// from concurrent problems in nondeterministic order (each problem's own
+/// launch sequence is unchanged) — use the intra schedule when comparing
+/// trace streams.
+///
+/// Usage:
+///   std::vector<ConstMatrixView<float>> batch = ...;
+///   auto sigma = svd_values_batched<float>(batch);   // sigma[i] ~ batch[i]
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/svd.hpp"
+
+namespace unisvd {
+
+/// How the problems of a batch map onto execution resources.
+enum class BatchSchedule {
+  Auto,          ///< per problem: InterProblem below the crossover, else Intra
+  InterProblem,  ///< one problem per pool slot, serial inside each problem
+  IntraProblem   ///< problems sequential, kernels parallel inside each
+};
+
+[[nodiscard]] constexpr const char* to_string(BatchSchedule s) noexcept {
+  switch (s) {
+    case BatchSchedule::Auto: return "auto";
+    case BatchSchedule::InterProblem: return "inter";
+    case BatchSchedule::IntraProblem: return "intra";
+  }
+  return "?";
+}
+
+/// Options of the batched solver.
+struct BatchConfig {
+  /// Per-problem solver options (kernels, finiteness check, auto-scale).
+  SvdConfig svd;
+  /// Scheduling policy. Auto decides per problem from `crossover_n`.
+  BatchSchedule schedule = BatchSchedule::Auto;
+  /// Auto crossover: a problem with max(rows, cols) <= crossover_n is small
+  /// enough that inter-problem parallelism beats parallelizing its own
+  /// kernels. Default from CPU-backend measurements; tune_batch_crossover
+  /// (core/tuner.hpp) learns the value for a given backend and precision.
+  index_t crossover_n = 192;
+  /// Auto runs the inter-problem pass only when at least this many problems
+  /// qualify (a lone small problem gains nothing from the pool).
+  std::size_t min_inter_problems = 2;
+
+  void validate() const {
+    svd.validate();
+    UNISVD_REQUIRE(crossover_n >= 0, "BatchConfig: crossover_n must be >= 0");
+  }
+};
+
+/// Result of one batched call with per-problem diagnostics.
+struct BatchReport {
+  /// Per-problem reports, in input order (values, stage times, padding).
+  std::vector<SvdReport> reports;
+  /// Schedule each problem actually ran under (InterProblem or
+  /// IntraProblem; never Auto). Inter demotes to Intra when the backend has
+  /// no thread pool to spread problems over.
+  std::vector<BatchSchedule> schedules;
+  /// Stage times summed over all problems (CPU seconds, not wall clock).
+  ka::StageTimes stage_times;
+  /// Distinct threads that executed problems — > 1 shows the inter-problem
+  /// path really spread across the pool.
+  std::size_t threads_used = 0;
+  /// Wall-clock seconds for the whole batch.
+  double seconds = 0.0;
+};
+
+/// Solve every problem of the batch and return full diagnostics. Throws
+/// unisvd::Error on the first invalid problem (empty matrix, non-finite
+/// input with check_finite) — all-or-nothing, no partial results. An empty
+/// batch returns an empty report.
+template <class T>
+BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
+                                      const BatchConfig& config = {},
+                                      ka::Backend& backend = ka::default_backend());
+
+/// Singular values of every problem (descending, min(m_i, n_i) each), in
+/// storage precision — the batched `svdvals`.
+template <class T>
+std::vector<std::vector<T>> svd_values_batched(
+    std::span<const ConstMatrixView<T>> batch, const BatchConfig& config = {},
+    ka::Backend& backend = ka::default_backend()) {
+  const BatchReport rep = svd_values_batched_report<T>(batch, config, backend);
+  std::vector<std::vector<T>> out(rep.reports.size());
+  for (std::size_t p = 0; p < out.size(); ++p) {
+    const auto& values = rep.reports[p].values;
+    out[p].resize(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out[p][i] = static_cast<T>(values[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace unisvd

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "common/half.hpp"
+#include "core/batch.hpp"
 #include "qr/band_reduction.hpp"
 #include "rand/matrix_gen.hpp"
 #include "tile/tile_layout.hpp"
@@ -77,5 +79,99 @@ template TuneResult autotune<float>(ka::Backend&, index_t, std::vector<qr::Kerne
                                     int, std::uint64_t);
 template TuneResult autotune<double>(ka::Backend&, index_t,
                                      std::vector<qr::KernelConfig>, int, std::uint64_t);
+
+template <class T>
+BatchCrossoverResult tune_batch_crossover(ka::Backend& backend,
+                                          std::vector<index_t> sizes,
+                                          std::size_t problems_per_size, int repeats,
+                                          const SvdConfig& config, std::uint64_t seed) {
+  UNISVD_REQUIRE(backend.executes(),
+                 "tune_batch_crossover: backend must execute kernels");
+  const ka::ThreadPool* pool = backend.batch_pool();
+  UNISVD_REQUIRE(pool != nullptr && pool->size() > 1 && !pool->in_job(),
+                 "tune_batch_crossover: the inter-problem schedule cannot run "
+                 "here — the backend needs a thread pool of >= 2 threads and "
+                 "must not be called from inside one of its own pool jobs");
+  UNISVD_REQUIRE(problems_per_size >= 1,
+                 "tune_batch_crossover: problems_per_size must be positive");
+  UNISVD_REQUIRE(repeats >= 1, "tune_batch_crossover: repeats must be positive");
+  if (sizes.empty()) sizes = {32, 64, 128, 256};
+  for (const index_t n : sizes) {
+    UNISVD_REQUIRE(n >= 1, "tune_batch_crossover: probed sizes must be positive");
+  }
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+
+  BatchCrossoverResult result;
+  rnd::Xoshiro256 rng(seed);
+  // The crossover only extends while inter wins at every probed size from
+  // the bottom up: a noisy inter win above a real loss must not drag
+  // intermediate sizes (where intra measured faster) into the inter regime.
+  bool inter_prefix = true;
+  for (const index_t n : sizes) {
+    std::vector<Matrix<T>> problems;
+    problems.reserve(problems_per_size);
+    std::vector<ConstMatrixView<T>> views;
+    views.reserve(problems_per_size);
+    for (std::size_t p = 0; p < problems_per_size; ++p) {
+      problems.push_back(rnd::round_to<T>(rnd::gaussian_matrix(n, n, rng)));
+      views.push_back(problems.back().view());
+    }
+
+    const auto run = [&](BatchSchedule schedule) {
+      BatchConfig bc;
+      bc.svd = config;
+      bc.schedule = schedule;
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)svd_values_batched_report<T>(views, bc, backend);
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+
+    BatchCrossoverSample sample;
+    sample.n = n;
+    // Best of `repeats` per schedule (same protocol as autotune above). An
+    // untimed warmup run absorbs worker wake-up and first-touch costs, and
+    // the schedule order alternates per repeat so neither side systematically
+    // pays any residual warmup.
+    (void)run(BatchSchedule::InterProblem);
+    sample.inter_seconds = std::numeric_limits<double>::infinity();
+    sample.intra_seconds = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r) {
+      const bool inter_first = r % 2 == 0;
+      const BatchSchedule order[] = {
+          inter_first ? BatchSchedule::InterProblem : BatchSchedule::IntraProblem,
+          inter_first ? BatchSchedule::IntraProblem : BatchSchedule::InterProblem};
+      for (const BatchSchedule schedule : order) {
+        double& best = schedule == BatchSchedule::InterProblem ? sample.inter_seconds
+                                                               : sample.intra_seconds;
+        best = std::min(best, run(schedule));
+      }
+    }
+    if (sample.inter_seconds <= sample.intra_seconds && inter_prefix) {
+      result.crossover_n = n;
+    } else {
+      inter_prefix = false;
+    }
+    result.samples.push_back(sample);
+  }
+  return result;
+}
+
+template BatchCrossoverResult tune_batch_crossover<Half>(ka::Backend&,
+                                                         std::vector<index_t>,
+                                                         std::size_t, int,
+                                                         const SvdConfig&,
+                                                         std::uint64_t);
+template BatchCrossoverResult tune_batch_crossover<float>(ka::Backend&,
+                                                          std::vector<index_t>,
+                                                          std::size_t, int,
+                                                          const SvdConfig&,
+                                                          std::uint64_t);
+template BatchCrossoverResult tune_batch_crossover<double>(ka::Backend&,
+                                                           std::vector<index_t>,
+                                                           std::size_t, int,
+                                                           const SvdConfig&,
+                                                           std::uint64_t);
 
 }  // namespace unisvd::core

@@ -12,6 +12,7 @@
 
 #include "common/matrix.hpp"
 #include "common/precision.hpp"
+#include "core/svd.hpp"
 #include "ka/backend.hpp"
 #include "qr/kernel_config.hpp"
 
@@ -36,5 +37,36 @@ template <class T>
 [[nodiscard]] TuneResult autotune(ka::Backend& backend, index_t n,
                                   std::vector<qr::KernelConfig> candidates = {},
                                   int repeats = 1, std::uint64_t seed = 42);
+
+/// One probed size of the batch-schedule tuner.
+struct BatchCrossoverSample {
+  index_t n = 0;
+  double inter_seconds = 0.0;  ///< uniform batch, one problem per pool slot
+  double intra_seconds = 0.0;  ///< same batch, sequential with parallel kernels
+};
+
+struct BatchCrossoverResult {
+  /// Learned BatchConfig::crossover_n: the largest probed size up to which
+  /// the inter-problem schedule won at every probed size (0 when it lost at
+  /// the smallest — always go intra). A noisy inter win above a real loss
+  /// does not extend the crossover.
+  index_t crossover_n = 0;
+  std::vector<BatchCrossoverSample> samples;  ///< ascending in n
+};
+
+/// Learn the inter/intra batch-schedule crossover for this backend and
+/// storage type: time a uniform batch of `problems_per_size` random n x n
+/// problems under both schedules at each probed size, keeping the best of
+/// `repeats` runs per schedule (after one untimed warmup batch per size, and
+/// alternating which schedule is timed first). Empty
+/// `sizes` uses a default ladder. The result's crossover_n drops into
+/// BatchConfig::crossover_n (core/batch.hpp). Throws when the backend has
+/// no usable thread pool (serial, width-1): the inter schedule could not
+/// actually run and the comparison would be noise.
+template <class T>
+[[nodiscard]] BatchCrossoverResult tune_batch_crossover(
+    ka::Backend& backend, std::vector<index_t> sizes = {},
+    std::size_t problems_per_size = 8, int repeats = 2,
+    const SvdConfig& config = {}, std::uint64_t seed = 42);
 
 }  // namespace unisvd::core

@@ -54,6 +54,14 @@ class Backend {
   /// callers may then pass views over null data).
   [[nodiscard]] virtual bool executes() const noexcept { return true; }
 
+  /// Thread pool available for inter-problem (batch) parallelism, or
+  /// nullptr when the backend has none (serial, trace). Batch schedulers
+  /// use it to run one problem per pool slot; per-problem kernel launches
+  /// then execute inline in that slot (ThreadPool::parallel_for is
+  /// reentrancy-safe), so results stay bitwise identical to sequential
+  /// execution.
+  [[nodiscard]] virtual ThreadPool* batch_pool() noexcept { return nullptr; }
+
   /// Submit one kernel launch. Blocking: on return all workgroups ran.
   void launch(const LaunchDesc& desc, const Kernel& kernel) {
     if (trace_ != nullptr) trace_->record(desc);
@@ -87,6 +95,7 @@ class CpuBackend final : public Backend {
   explicit CpuBackend(unsigned num_threads = 0);
   [[nodiscard]] std::string_view name() const noexcept override { return "cpu"; }
   [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] ThreadPool* batch_pool() noexcept override { return &pool_; }
 
  protected:
   void do_launch(const LaunchDesc& desc, const Kernel& kernel) override;

@@ -26,6 +26,14 @@ class StageTimes {
   }
   void reset() noexcept { seconds_.fill(0.0); }
 
+  /// Stage-wise accumulation (batch aggregation over per-problem reports).
+  StageTimes& operator+=(const StageTimes& other) noexcept {
+    for (std::size_t i = 0; i < seconds_.size(); ++i) {
+      seconds_[i] += other.seconds_[i];
+    }
+    return *this;
+  }
+
  private:
   std::array<double, 4> seconds_{};
 };

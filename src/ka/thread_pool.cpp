@@ -2,6 +2,13 @@
 
 namespace unisvd::ka {
 
+namespace {
+/// The pool whose job the current thread is executing (nullptr outside a
+/// job). Lets a nested parallel_for detect itself and run inline instead of
+/// deadlocking on the single job slot.
+thread_local const ThreadPool* tls_running_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -41,15 +48,26 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::in_job() const noexcept { return tls_running_pool == this; }
+
 void ThreadPool::run_job(Job& job) {
+  const ThreadPool* const prev_pool = tls_running_pool;
+  tls_running_pool = this;
   for (;;) {
     const index_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) break;
-    try {
-      (*job.fn)(i);
-    } catch (...) {
-      std::lock_guard lock(job.error_mutex);
-      if (!job.error) job.error = std::current_exception();
+    // After a failure the job's result is discarded anyway: skip the work
+    // but still count the iteration, so the done == n completion condition
+    // holds and the caller gets the exception without paying for the rest
+    // of the batch.
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+        job.failed.store(true, std::memory_order_relaxed);
+      }
     }
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
       // Take the pool mutex before notifying: guarantees the waiter is
@@ -60,14 +78,22 @@ void ThreadPool::run_job(Job& job) {
       done_cv_.notify_all();
     }
   }
+  tls_running_pool = prev_pool;
 }
 
 void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn) {
   if (n <= 0) return;
-  if (n == 1 || workers_.empty()) {
+  // Nested call from inside one of this pool's jobs: run inline. The outer
+  // job already owns a pool slot; trying to submit would corrupt the single
+  // job slot (and waiting on it could deadlock against ourselves).
+  if (n == 1 || workers_.empty() || in_job()) {
     for (index_t i = 0; i < n; ++i) fn(i);
     return;
   }
+
+  // One top-level job at a time: external threads queue here, not on the
+  // job slot.
+  std::lock_guard submit_lock(submit_mutex_);
 
   auto job = std::make_shared<Job>();
   job->fn = &fn;

@@ -5,6 +5,13 @@
 /// The CPU backend maps workgroups onto pool threads; work-items within a
 /// workgroup stay on one thread (they share "registers"), so the pool only
 /// needs a flat index-space parallel_for with dynamic chunking.
+///
+/// parallel_for is safe to call from anywhere: a call made from inside a
+/// job of the SAME pool runs its iterations inline on the current thread
+/// (the batch solver relies on this — one problem per pool slot, nested
+/// kernel launches degrade to serial execution within the slot), and
+/// top-level calls from distinct external threads serialize on a submit
+/// lock, so concurrent batches never corrupt the single job slot.
 
 #include <atomic>
 #include <condition_variable>
@@ -38,7 +45,13 @@ class ThreadPool {
   /// Runs fn(i) for every i in [0, n), distributing dynamically across the
   /// pool plus the calling thread. Blocks until all iterations finish.
   /// Exceptions from fn propagate to the caller (first one wins).
+  /// Reentrant: when called from inside a job of this pool, the iterations
+  /// run inline on the current thread.
   void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+
+  /// True when the current thread is executing an iteration of one of this
+  /// pool's jobs (a nested parallel_for would therefore run inline).
+  [[nodiscard]] bool in_job() const noexcept;
 
  private:
   /// One parallel_for invocation. Heap-held via shared_ptr so that a
@@ -48,6 +61,7 @@ class ThreadPool {
     const std::function<void(index_t)>* fn = nullptr;
     std::atomic<index_t> next{0};
     std::atomic<index_t> done{0};
+    std::atomic<bool> failed{false};  ///< set once an iteration threw
     index_t n = 0;
     std::exception_ptr error;
     std::mutex error_mutex;
@@ -57,6 +71,7 @@ class ThreadPool {
   void run_job(Job& job);
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  ///< serializes top-level parallel_for calls
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

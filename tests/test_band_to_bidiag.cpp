@@ -70,7 +70,9 @@ TEST_P(BandToBidiagSweep, ProducesBidiagonalWithSameSingularValues) {
   std::vector<double> d;
   std::vector<double> e;
   const auto stats = band::band_to_bidiag(b, d, e);
-  if (bw >= 2 && n > 2) EXPECT_GT(stats.rotations, 0.0);
+  if (bw >= 2 && n > 2) {
+    EXPECT_GT(stats.rotations, 0.0);
+  }
 
   // Bidiagonal structure: all other diagonals of the packed storage clean.
   const auto dense = b.to_dense();
@@ -99,8 +101,13 @@ INSTANTIATE_TEST_SUITE_P(Bands, BandToBidiagSweep,
                                            ChaseCase{33, 5}, ChaseCase{48, 16},
                                            ChaseCase{64, 8}, ChaseCase{7, 6}),
                          [](const auto& info) {
-                           return "n" + std::to_string(info.param.n) + "_bw" +
-                                  std::to_string(info.param.bw);
+                           // Built with += : chained operator+ trips a GCC 12
+                           // -Wrestrict false positive (PR105329) in Release.
+                           std::string name = "n";
+                           name += std::to_string(info.param.n);
+                           name += "_bw";
+                           name += std::to_string(info.param.bw);
+                           return name;
                          });
 
 TEST(BandToBidiag, AlreadyBidiagonalIsIdentityOp) {
@@ -113,7 +120,9 @@ TEST(BandToBidiag, AlreadyBidiagonalIsIdentityOp) {
   EXPECT_EQ(stats.rotations, 0.0);
   for (index_t i = 0; i < n; ++i) {
     EXPECT_EQ(d[static_cast<std::size_t>(i)], a(i, i));
-    if (i + 1 < n) EXPECT_EQ(e[static_cast<std::size_t>(i)], a(i, i + 1));
+    if (i + 1 < n) {
+      EXPECT_EQ(e[static_cast<std::size_t>(i)], a(i, i + 1));
+    }
   }
 }
 
@@ -127,7 +136,9 @@ TEST(BandToBidiag, DiagonalMatrixUntouched) {
   band::band_to_bidiag(b, d, e);
   for (index_t i = 0; i < n; ++i) {
     EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)], static_cast<double>(i + 1));
-    if (i + 1 < n) EXPECT_DOUBLE_EQ(e[static_cast<std::size_t>(i)], 0.0);
+    if (i + 1 < n) {
+      EXPECT_DOUBLE_EQ(e[static_cast<std::size_t>(i)], 0.0);
+    }
   }
 }
 

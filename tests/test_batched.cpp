@@ -1,0 +1,242 @@
+/// Tests of the batched SVD subsystem (core/batch.hpp): agreement with the
+/// sequential svd_values loop across precisions for uniform and ragged
+/// batches, schedule resolution (Auto crossover, forced inter/intra,
+/// demotion without a pool), edge cases (empty batch, single element),
+/// error propagation, stage-time aggregation, and the inter-problem path
+/// actually spreading across pool threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "rand/matrix_gen.hpp"
+#include "test_util.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+SvdConfig small_config(int ts = 8) {
+  SvdConfig cfg;
+  cfg.kernels.tilesize = ts;
+  cfg.kernels.colperblock = std::min(8, ts);
+  return cfg;
+}
+
+BatchConfig batch_config(BatchSchedule schedule, int ts = 8) {
+  BatchConfig cfg;
+  cfg.svd = small_config(ts);
+  cfg.schedule = schedule;
+  return cfg;
+}
+
+/// Ragged batch: mixed square sizes (padding, n < tilesize) plus tall and
+/// wide rectangles.
+template <class T>
+std::vector<Matrix<T>> make_ragged_problems(std::uint64_t seed) {
+  const std::pair<index_t, index_t> shapes[] = {
+      {16, 16}, {5, 5}, {24, 24}, {1, 1}, {33, 33}, {24, 10}, {10, 24}};
+  std::vector<Matrix<T>> problems;
+  std::uint64_t s = seed;
+  for (const auto& [m, n] : shapes) {
+    problems.push_back(testutil::convert<T>(testutil::random_matrix(m, n, s++)));
+  }
+  return problems;
+}
+
+template <class T>
+std::vector<ConstMatrixView<T>> views_of(const std::vector<Matrix<T>>& problems) {
+  std::vector<ConstMatrixView<T>> views;
+  views.reserve(problems.size());
+  for (const auto& p : problems) views.push_back(p.view());
+  return views;
+}
+
+/// Per-precision agreement tolerance between the batched solve and the
+/// sequential loop. The two run identical deterministic kernels, so they
+/// should agree far inside storage accuracy.
+template <class T>
+double agree_tol() {
+  return 8.0 * precision_traits<T>::storage_eps;
+}
+
+template <class T>
+void expect_matches_sequential(const std::vector<Matrix<T>>& problems,
+                               const BatchConfig& cfg, ka::Backend& backend) {
+  const auto views = views_of(problems);
+  const auto batched = svd_values_batched<T>(views, cfg, backend);
+  ASSERT_EQ(batched.size(), problems.size());
+  for (std::size_t p = 0; p < problems.size(); ++p) {
+    const auto seq = svd_values<T>(problems[p].view(), cfg.svd, backend);
+    ASSERT_EQ(batched[p].size(), seq.size()) << "problem " << p;
+    const double scale =
+        std::max(1.0, seq.empty() ? 1.0 : std::abs(static_cast<double>(seq[0])));
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_NEAR(static_cast<double>(batched[p][i]), static_cast<double>(seq[i]),
+                  agree_tol<T>() * scale)
+          << "problem " << p << " sigma_" << i;
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+class BatchedSvdTyped : public ::testing::Test {};
+using StorageTypes = ::testing::Types<Half, float, double>;
+TYPED_TEST_SUITE(BatchedSvdTyped, StorageTypes);
+
+TYPED_TEST(BatchedSvdTyped, UniformBatchMatchesSequential) {
+  std::vector<Matrix<TypeParam>> problems;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    problems.push_back(testutil::convert<TypeParam>(testutil::random_matrix(24, 24, 100 + s)));
+  }
+  ka::CpuBackend backend(4);
+  for (const auto schedule :
+       {BatchSchedule::Auto, BatchSchedule::InterProblem, BatchSchedule::IntraProblem}) {
+    expect_matches_sequential<TypeParam>(problems, batch_config(schedule), backend);
+  }
+}
+
+TYPED_TEST(BatchedSvdTyped, RaggedBatchMatchesSequential) {
+  const auto problems = make_ragged_problems<TypeParam>(7);
+  ka::CpuBackend backend(4);
+  for (const auto schedule :
+       {BatchSchedule::Auto, BatchSchedule::InterProblem, BatchSchedule::IntraProblem}) {
+    expect_matches_sequential<TypeParam>(problems, batch_config(schedule), backend);
+  }
+}
+
+TEST(BatchedSvd, EmptyBatchReturnsEmptyReport) {
+  const std::vector<ConstMatrixView<double>> none;
+  const auto rep = svd_values_batched_report<double>(none, batch_config(BatchSchedule::Auto));
+  EXPECT_TRUE(rep.reports.empty());
+  EXPECT_TRUE(rep.schedules.empty());
+  EXPECT_EQ(rep.threads_used, 0u);
+  EXPECT_TRUE(svd_values_batched<double>(none).empty());
+}
+
+TEST(BatchedSvd, SingleElementBatchMatchesSingleSolve) {
+  const auto a = testutil::random_matrix(20, 20, 11);
+  const std::vector<ConstMatrixView<double>> batch{a.view()};
+  const auto cfg = batch_config(BatchSchedule::Auto);
+  const auto rep = svd_values_batched_report<double>(batch, cfg);
+  ASSERT_EQ(rep.reports.size(), 1u);
+  const auto seq = svd_values_report<double>(a.view(), cfg.svd);
+  ASSERT_EQ(rep.reports[0].values.size(), seq.values.size());
+  for (std::size_t i = 0; i < seq.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rep.reports[0].values[i], seq.values[i]);
+  }
+  // A lone small problem gains nothing from the pool: Auto keeps it intra.
+  EXPECT_EQ(rep.schedules[0], BatchSchedule::IntraProblem);
+}
+
+TEST(BatchedSvd, AutoResolvesSchedulePerProblem) {
+  const auto small = testutil::convert<double>(testutil::random_matrix(16, 16, 1));
+  const auto small2 = testutil::convert<double>(testutil::random_matrix(16, 16, 2));
+  const auto large = testutil::convert<double>(testutil::random_matrix(64, 64, 3));
+  const std::vector<ConstMatrixView<double>> batch{small.view(), large.view(),
+                                                   small2.view()};
+  auto cfg = batch_config(BatchSchedule::Auto);
+  cfg.crossover_n = 32;
+
+  ka::CpuBackend cpu(4);
+  const auto rep = svd_values_batched_report<double>(batch, cfg, cpu);
+  ASSERT_EQ(rep.schedules.size(), 3u);
+  EXPECT_EQ(rep.schedules[0], BatchSchedule::InterProblem);
+  EXPECT_EQ(rep.schedules[1], BatchSchedule::IntraProblem);
+  EXPECT_EQ(rep.schedules[2], BatchSchedule::InterProblem);
+
+  // Without a pool every problem demotes to intra, under any requested
+  // schedule, and results are unchanged.
+  ka::SerialBackend serial;
+  for (const auto schedule :
+       {BatchSchedule::Auto, BatchSchedule::InterProblem, BatchSchedule::IntraProblem}) {
+    auto c = cfg;
+    c.schedule = schedule;
+    const auto srep = svd_values_batched_report<double>(batch, c, serial);
+    for (const auto s : srep.schedules) EXPECT_EQ(s, BatchSchedule::IntraProblem);
+    for (std::size_t p = 0; p < batch.size(); ++p) {
+      ASSERT_EQ(srep.reports[p].values.size(), rep.reports[p].values.size());
+      for (std::size_t i = 0; i < srep.reports[p].values.size(); ++i) {
+        EXPECT_DOUBLE_EQ(srep.reports[p].values[i], rep.reports[p].values[i]);
+      }
+    }
+  }
+}
+
+TEST(BatchedSvd, InterProblemPathUsesMultiplePoolThreads) {
+  // Dynamic chunking makes the thread assignment timing-dependent, so allow
+  // a few attempts: with 64 problems and 3 idle workers woken per attempt,
+  // a single-threaded run of every attempt is vanishingly unlikely.
+  ka::CpuBackend backend(4);
+  std::vector<Matrix<double>> problems;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    problems.push_back(testutil::convert<double>(testutil::random_matrix(24, 24, 200 + s)));
+  }
+  const auto views = views_of(problems);
+  const auto cfg = batch_config(BatchSchedule::InterProblem);
+  std::size_t max_threads = 0;
+  for (int attempt = 0; attempt < 20 && max_threads < 2; ++attempt) {
+    const auto rep = svd_values_batched_report<double>(views, cfg, backend);
+    for (const auto s : rep.schedules) EXPECT_EQ(s, BatchSchedule::InterProblem);
+    max_threads = std::max(max_threads, rep.threads_used);
+  }
+  EXPECT_GE(max_threads, 2u);
+}
+
+TEST(BatchedSvd, PropagatesPerProblemErrors) {
+  const auto good = testutil::random_matrix(16, 16, 21);
+  Matrix<double> bad(16, 16, 1.0);
+  bad(3, 3) = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<ConstMatrixView<double>> batch{good.view(), bad.view()};
+  ka::CpuBackend backend(4);
+  for (const auto schedule : {BatchSchedule::InterProblem, BatchSchedule::IntraProblem}) {
+    EXPECT_THROW(svd_values_batched<double>(batch, batch_config(schedule), backend),
+                 Error);
+  }
+}
+
+TEST(BatchedSvd, RejectsNonExecutingBackendAndBadConfig) {
+  const auto a = testutil::random_matrix(8, 8, 31);
+  const std::vector<ConstMatrixView<double>> batch{a.view()};
+  ka::TraceBackend trace;
+  EXPECT_THROW(svd_values_batched<double>(batch, {}, trace), Error);
+  BatchConfig bad;
+  bad.svd.kernels.tilesize = 3;
+  EXPECT_THROW(svd_values_batched<double>(batch, bad), Error);
+}
+
+TEST(BatchedSvd, ReportAggregatesStageTimesAndWallClock) {
+  const auto problems = make_ragged_problems<double>(41);
+  const auto views = views_of(problems);
+  ka::CpuBackend backend(4);
+  const auto rep =
+      svd_values_batched_report<double>(views, batch_config(BatchSchedule::Auto), backend);
+  ASSERT_EQ(rep.reports.size(), problems.size());
+  double expect_total = 0.0;
+  for (const auto& r : rep.reports) expect_total += r.stage_times.total();
+  // The two sums associate differently, so allow rounding slack.
+  EXPECT_NEAR(rep.stage_times.total(), expect_total, 1e-12 * (1.0 + expect_total));
+  EXPECT_GT(rep.stage_times.total(), 0.0);
+  EXPECT_GT(rep.seconds, 0.0);
+  EXPECT_GE(rep.threads_used, 1u);
+}
+
+TEST(BatchedSvd, ValuesDescendingInStoragePrecision) {
+  const auto problems = make_ragged_problems<Half>(51);
+  const auto views = views_of(problems);
+  const auto out = svd_values_batched<Half>(views, batch_config(BatchSchedule::Auto));
+  ASSERT_EQ(out.size(), problems.size());
+  for (std::size_t p = 0; p < out.size(); ++p) {
+    const auto expect_count = static_cast<std::size_t>(
+        std::min(problems[p].rows(), problems[p].cols()));
+    ASSERT_EQ(out[p].size(), expect_count);
+    for (std::size_t i = 1; i < out[p].size(); ++i) {
+      EXPECT_LE(float(out[p][i]), float(out[p][i - 1]));
+    }
+  }
+}

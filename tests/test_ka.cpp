@@ -5,7 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -43,6 +48,32 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_EQ(n.load(), 10);
 }
 
+TEST(ThreadPool, SkipsRemainingIterationsAfterFailure) {
+  // Once an iteration throws, the job's result is discarded, so the pool
+  // must not burn through the rest of the index space (a 1000-problem
+  // batch with a bad first problem should fail fast, not after 999 SVDs).
+  ka::ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(200,
+                        [&](index_t) {
+                          if (executed.fetch_add(1) == 0) {
+                            throw Error("first iteration fails");
+                          }
+                          // Make each survivor slower than the failure path,
+                          // so the executed count stays near the number of
+                          // in-flight iterations on any machine.
+                          const auto t0 = std::chrono::steady_clock::now();
+                          while (std::chrono::steady_clock::now() - t0 <
+                                 std::chrono::microseconds(50)) {
+                          }
+                        }),
+      Error);
+  // Only iterations already in flight when the failure landed (plus a small
+  // visibility window) may still run; generous margin regardless.
+  EXPECT_LT(executed.load(), 150);
+}
+
 TEST(ThreadPool, ReusableAcrossManyJobs) {
   ka::ThreadPool pool(3);
   for (int rep = 0; rep < 200; ++rep) {
@@ -57,6 +88,65 @@ TEST(ThreadPool, SingleThreadedPoolWorks) {
   std::atomic<int> n{0};
   pool.parallel_for(64, [&](index_t) { n++; });
   EXPECT_EQ(n.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A parallel_for issued from inside a job of the same pool must run its
+  // iterations inline on the current thread (the batch solver's
+  // one-problem-per-slot mode depends on this), not deadlock on the single
+  // job slot.
+  ka::ThreadPool pool(4);
+  EXPECT_FALSE(pool.in_job());
+  std::atomic<long> total{0};
+  std::atomic<int> inline_ok{0};
+  pool.parallel_for(8, [&](index_t outer) {
+    EXPECT_TRUE(pool.in_job());
+    const auto outer_thread = std::this_thread::get_id();
+    pool.parallel_for(16, [&](index_t inner) {
+      total += outer * 16 + inner;
+      if (std::this_thread::get_id() == outer_thread) inline_ok++;
+    });
+  });
+  EXPECT_FALSE(pool.in_job());
+  EXPECT_EQ(total.load(), 127 * 128 / 2);
+  EXPECT_EQ(inline_ok.load(), 8 * 16);  // every inner iteration stayed inline
+}
+
+TEST(ThreadPool, ConcurrentTopLevelSubmissionsSerialize) {
+  // Two external threads driving the same pool at once: the submit lock
+  // must keep the single job slot coherent and every iteration must run
+  // exactly once.
+  ka::ThreadPool pool(3);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<std::atomic<int>> hits_a(64);
+    std::vector<std::atomic<int>> hits_b(64);
+    std::thread other([&] {
+      pool.parallel_for(64, [&](index_t i) { hits_b[static_cast<std::size_t>(i)]++; });
+    });
+    pool.parallel_for(64, [&](index_t i) { hits_a[static_cast<std::size_t>(i)]++; });
+    other.join();
+    for (auto& h : hits_a) EXPECT_EQ(h.load(), 1);
+    for (auto& h : hits_b) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, DistributesAcrossThreads) {
+  // Rendezvous: the first iteration blocks until a second thread has
+  // entered the job, proving at least two distinct threads execute it (the
+  // timeout only bounds the failure mode).
+  ka::ThreadPool pool(4);
+  std::mutex m;
+  std::condition_variable cv;
+  int entered = 0;
+  std::set<std::thread::id> ids;
+  pool.parallel_for(8, [&](index_t) {
+    std::unique_lock lock(m);
+    ids.insert(std::this_thread::get_id());
+    ++entered;
+    cv.notify_all();
+    cv.wait_for(lock, std::chrono::seconds(10), [&] { return entered >= 2; });
+  });
+  EXPECT_GE(ids.size(), 2u);
 }
 
 namespace {
@@ -189,4 +279,15 @@ TEST(StageTimes, AccumulatesPerStage) {
 TEST(Backend, DefaultBackendIsCpu) {
   EXPECT_EQ(ka::default_backend().name(), "cpu");
   EXPECT_TRUE(ka::default_backend().executes());
+}
+
+TEST(Backend, BatchPoolExposedOnlyByPooledBackends) {
+  ka::CpuBackend cpu(4);
+  ASSERT_NE(cpu.batch_pool(), nullptr);
+  EXPECT_EQ(cpu.batch_pool(), &cpu.pool());
+  EXPECT_EQ(cpu.batch_pool()->size(), 4u);
+  ka::SerialBackend serial;
+  EXPECT_EQ(serial.batch_pool(), nullptr);
+  ka::TraceBackend trace;
+  EXPECT_EQ(trace.batch_pool(), nullptr);
 }

@@ -44,3 +44,35 @@ TEST(Tuner, RejectsNonExecutingBackendAndBadArgs) {
   ka::CpuBackend be(2);
   EXPECT_THROW(core::autotune<float>(be, 32, {}, 0), Error);
 }
+
+TEST(Tuner, BatchCrossoverProbesBothSchedules) {
+  ka::CpuBackend be(4);
+  SvdConfig cfg;
+  cfg.kernels.tilesize = 8;
+  cfg.kernels.colperblock = 8;
+  const auto result = core::tune_batch_crossover<float>(be, {8, 16}, 2, 1, cfg);
+  ASSERT_EQ(result.samples.size(), 2u);
+  EXPECT_EQ(result.samples[0].n, 8);
+  EXPECT_EQ(result.samples[1].n, 16);
+  for (const auto& s : result.samples) {
+    EXPECT_GT(s.inter_seconds, 0.0);
+    EXPECT_GT(s.intra_seconds, 0.0);
+  }
+  // The learned crossover is one of the probed sizes, or 0 if inter never won.
+  EXPECT_TRUE(result.crossover_n == 0 || result.crossover_n == 8 ||
+              result.crossover_n == 16);
+}
+
+TEST(Tuner, BatchCrossoverRejectsBadArgs) {
+  ka::TraceBackend trace;
+  EXPECT_THROW(core::tune_batch_crossover<float>(trace), Error);
+  ka::CpuBackend be(2);
+  EXPECT_THROW(core::tune_batch_crossover<float>(be, {8}, 0), Error);
+  EXPECT_THROW(core::tune_batch_crossover<float>(be, {8}, 2, 0), Error);
+  // A width-1 pool cannot run the inter-problem schedule; learning a
+  // crossover from intra-vs-intra noise must be refused.
+  ka::CpuBackend solo(1);
+  EXPECT_THROW(core::tune_batch_crossover<float>(solo, {8}), Error);
+  ka::SerialBackend serial;
+  EXPECT_THROW(core::tune_batch_crossover<float>(serial, {8}), Error);
+}
