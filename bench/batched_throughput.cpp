@@ -1,15 +1,22 @@
 /// Batched SVD throughput: problems/sec versus batch size and matrix size,
 /// for all three storage precisions, comparing the inter-problem schedule
 /// (one problem per pool slot), the intra-problem schedule (sequential
-/// problems, parallel kernels) and Auto.
+/// problems, parallel kernels), the work-stealing mixed schedule and Auto —
+/// plus a ragged few-large-many-small section where Mixed is designed to
+/// win both pure schedules (the slots idle after the small queue dries up
+/// steal the large problems' kernel workgroups instead of waiting out the
+/// tail).
 ///
 ///   $ ./bench_batched_throughput [threads] [max_n]
 ///
 /// The inter/intra ratio directly visualizes the scheduling crossover that
-/// BatchConfig::crossover_n encodes and core::tune_batch_crossover learns.
+/// BatchConfig::crossover_n encodes, core::tune_batch_crossover learns and
+/// core::TuningTable persists.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -22,12 +29,24 @@ using namespace unisvd;
 namespace {
 
 template <class T>
+double problems_per_sec(ka::Backend& backend,
+                        const std::vector<ConstMatrixView<T>>& views,
+                        BatchSchedule schedule, index_t crossover_n) {
+  BatchConfig cfg;
+  cfg.schedule = schedule;
+  cfg.crossover_n = crossover_n;
+  const double secs = benchutil::measure_seconds(
+      [&] { (void)svd_values_batched_report<T>(views, cfg, backend); }, 1, 0.2);
+  return static_cast<double>(views.size()) / secs;
+}
+
+template <class T>
 void run_precision(ka::Backend& backend, index_t max_n) {
   benchutil::print_header(std::string("batched svdvals throughput — ") +
                           std::string(precision_traits<T>::name) + " (backend: " +
                           std::string(backend.name()) + ")");
-  std::printf("%6s %6s | %12s %12s %12s | %9s\n", "n", "batch", "inter p/s",
-              "intra p/s", "auto p/s", "inter/intra");
+  std::printf("%6s %6s | %12s %12s %12s %12s | %9s\n", "n", "batch", "inter p/s",
+              "intra p/s", "mixed p/s", "auto p/s", "inter/intra");
 
   rnd::Xoshiro256 rng(99);
   for (const index_t n : {32, 64, 128, 256}) {
@@ -42,22 +61,69 @@ void run_precision(ka::Backend& backend, index_t max_n) {
         views.push_back(problems.back().view());
       }
 
-      const auto throughput = [&](BatchSchedule schedule) {
-        BatchConfig cfg;
-        cfg.schedule = schedule;
-        const double secs = benchutil::measure_seconds(
-            [&] { (void)svd_values_batched_report<T>(views, cfg, backend); }, 1, 0.2);
-        return static_cast<double>(batch_size) / secs;
-      };
-
-      const double inter = throughput(BatchSchedule::InterProblem);
-      const double intra = throughput(BatchSchedule::IntraProblem);
-      const double aut = throughput(BatchSchedule::Auto);
-      std::printf("%6lld %6zu | %12.1f %12.1f %12.1f | %9.2f\n",
-                  static_cast<long long>(n), batch_size, inter, intra, aut,
+      const index_t crossover = BatchConfig{}.crossover_n;
+      const double inter =
+          problems_per_sec<T>(backend, views, BatchSchedule::InterProblem, crossover);
+      const double intra =
+          problems_per_sec<T>(backend, views, BatchSchedule::IntraProblem, crossover);
+      const double mixed =
+          problems_per_sec<T>(backend, views, BatchSchedule::Mixed, crossover);
+      const double aut =
+          problems_per_sec<T>(backend, views, BatchSchedule::Auto, crossover);
+      std::printf("%6lld %6zu | %12.1f %12.1f %12.1f %12.1f | %9.2f\n",
+                  static_cast<long long>(n), batch_size, inter, intra, mixed, aut,
                   inter / intra);
     }
   }
+}
+
+/// The ragged serving-traffic scenario the Mixed schedule targets: a few
+/// large problems plus a long queue of small ones. Inter serializes each
+/// large problem inside one slot; intra runs the smalls one by one with
+/// underused kernels; mixed overlaps both phases.
+void run_ragged(ka::Backend& backend, index_t max_n) {
+  benchutil::print_header("ragged batch (few large + many small) — FP64 (backend: " +
+                          std::string(backend.name()) + ")");
+  const index_t large_n = std::min<index_t>(max_n, 256);
+  const index_t small_n = 32;
+  const std::size_t num_large = 2;
+  const std::size_t num_small = 24;
+  const index_t crossover = 64;
+
+  rnd::Xoshiro256 rng(7);
+  std::vector<Matrix<double>> problems;
+  std::vector<ConstMatrixView<double>> views;
+  for (std::size_t p = 0; p < num_large; ++p) {
+    problems.push_back(rnd::gaussian_matrix(large_n, large_n, rng));
+  }
+  for (std::size_t p = 0; p < num_small; ++p) {
+    problems.push_back(rnd::gaussian_matrix(small_n, small_n, rng));
+  }
+  views.reserve(problems.size());
+  for (const auto& p : problems) views.push_back(p.view());
+
+  std::printf("shape: %zu x %lldx%lld + %zu x %lldx%lld, crossover_n = %lld\n",
+              num_large, static_cast<long long>(large_n),
+              static_cast<long long>(large_n), num_small,
+              static_cast<long long>(small_n), static_cast<long long>(small_n),
+              static_cast<long long>(crossover));
+
+  const std::pair<const char*, BatchSchedule> schedules[] = {
+      {"inter", BatchSchedule::InterProblem},
+      {"intra", BatchSchedule::IntraProblem},
+      {"mixed", BatchSchedule::Mixed}};
+  double best_pure = 0.0;
+  double mixed_rate = 0.0;
+  for (const auto& [name, schedule] : schedules) {
+    const double rate = problems_per_sec<double>(backend, views, schedule, crossover);
+    std::printf("  %-5s %10.1f problems/s\n", name, rate);
+    if (schedule == BatchSchedule::Mixed) {
+      mixed_rate = rate;
+    } else {
+      best_pure = std::max(best_pure, rate);
+    }
+  }
+  std::printf("  mixed / best-pure speedup: %.2fx\n", mixed_rate / best_pure);
 }
 
 }  // namespace
@@ -71,5 +137,6 @@ int main(int argc, char** argv) {
   run_precision<double>(backend, max_n);
   run_precision<float>(backend, max_n);
   run_precision<Half>(backend, max_n);
+  run_ragged(backend, max_n);
   return 0;
 }

@@ -1,12 +1,15 @@
 /// Batched SVD demo: a ragged batch of independent problems — the
 /// serving-traffic regime — solved in one call, with the per-problem
-/// scheduling decision, per-stage accounting and the empirically learned
-/// inter/intra crossover.
+/// scheduling decision, per-stage accounting, fault isolation
+/// (ErrorPolicy::Isolate: one poisoned request cannot take down the batch)
+/// and the empirically learned inter/intra crossover persisted in a
+/// core::TuningTable.
 ///
 ///   $ ./batched_svd [threads]
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <vector>
 
 #include "core/batch.hpp"
@@ -21,7 +24,9 @@ int main(int argc, char** argv) {
   ka::CpuBackend backend(threads);
   std::printf("unisvd batched demo — pool of %u threads\n", backend.pool().size());
 
-  // Ragged batch: a mix of shapes, as a request queue would hand us.
+  // Ragged batch: a mix of shapes, as a request queue would hand us. One
+  // request arrives poisoned (a NaN payload) — with on_error = Isolate the
+  // batch still serves every healthy request and reports the bad one.
   const std::pair<index_t, index_t> shapes[] = {
       {48, 48}, {16, 16}, {200, 200}, {32, 32}, {96, 40}, {40, 96}, {64, 64}};
   rnd::Xoshiro256 rng(5);
@@ -31,43 +36,58 @@ int main(int argc, char** argv) {
     problems.push_back(rnd::gaussian_matrix(m, n, rng));
     views.push_back(problems.back().view());
   }
+  problems[3](1, 2) = std::numeric_limits<double>::quiet_NaN();  // poison one
 
-  BatchConfig cfg;  // Auto schedule: small problems share the pool,
-                    // the 200x200 one gets the whole backend to itself.
+  BatchConfig cfg;  // Mixed: small problems share the pool inter-problem,
+                    // the 200x200 one gets work-stealing help for its
+                    // kernel launches once the small queue dries up.
+  cfg.schedule = BatchSchedule::Mixed;
+  cfg.on_error = ErrorPolicy::Isolate;
   const auto rep = svd_values_batched_report<double>(views, cfg, backend);
 
-  std::printf("\n%4s %9s %9s %12s %12s\n", "#", "shape", "schedule", "sigma_1",
-              "sigma_min");
+  std::printf("\n%4s %9s %9s %14s %12s %12s\n", "#", "shape", "schedule", "status",
+              "sigma_1", "sigma_min");
   for (std::size_t p = 0; p < views.size(); ++p) {
     char shape[32];
     std::snprintf(shape, sizeof(shape), "%lldx%lld",
                   static_cast<long long>(views[p].rows()),
                   static_cast<long long>(views[p].cols()));
-    std::printf("%4zu %9s %9s %12.6f %12.6f\n", p, shape,
-                to_string(rep.schedules[p]), rep.reports[p].values.front(),
-                rep.reports[p].values.back());
+    const auto& r = rep.reports[p];
+    if (r.status == SvdStatus::Ok) {
+      std::printf("%4zu %9s %9s %14s %12.6f %12.6f\n", p, shape,
+                  to_string(rep.schedules[p]), to_string(r.status),
+                  r.values.front(), r.values.back());
+    } else {
+      std::printf("%4zu %9s %9s %14s %12s %12s\n", p, shape,
+                  to_string(rep.schedules[p]), to_string(r.status), "-", "-");
+    }
   }
-  std::printf("\nbatch wall clock: %.2f ms, %zu distinct pool threads, "
-              "summed stage time: %.2f ms\n",
+  std::printf("\n%zu/%zu problems ok; batch wall clock: %.2f ms, %zu distinct pool "
+              "threads, summed stage time: %.2f ms\n",
+              rep.reports.size() - rep.failed_count(), rep.reports.size(),
               1e3 * rep.seconds, rep.threads_used, 1e3 * rep.stage_times.total());
 
-  // Learn the crossover for this machine instead of trusting the default.
-  // Meaningless without a pool to run the inter schedule on, so skip then.
+  // Learn the crossover for this machine instead of trusting the default,
+  // persist it, and show the persisted value becoming the BatchConfig
+  // default. Meaningless without a pool to run the inter schedule on.
   if (backend.pool().size() < 2) {
     std::printf("\npool width 1: skipping the crossover probe (pass a thread "
                 "count >= 2 to see it)\n");
     return 0;
   }
-  const auto tuned = core::tune_batch_crossover<double>(backend, {32, 64, 128}, 6);
-  std::printf("\nschedule crossover probe (6 problems per size):\n");
-  for (const auto& s : tuned.samples) {
-    std::printf("  n=%4lld  inter %8.2f ms  intra %8.2f ms  -> %s wins\n",
-                static_cast<long long>(s.n), 1e3 * s.inter_seconds,
-                1e3 * s.intra_seconds,
-                s.inter_seconds <= s.intra_seconds ? "inter" : "intra");
+  core::TuningTable table;
+  (void)core::learn_batch_crossover<double>(table, backend, {32, 64, 128}, 6);
+  const std::string table_path = "unisvd_tuning.txt";
+  if (!table.save(table_path)) {
+    std::printf("\ncould not write %s\n", table_path.c_str());
+    return 1;
   }
-  std::printf("learned BatchConfig::crossover_n = %lld (default %lld)\n",
-              static_cast<long long>(tuned.crossover_n),
+  const auto reloaded = core::TuningTable::load(table_path);
+  const BatchConfig tuned =
+      core::tuned_batch_config(reloaded, backend, Precision::FP64);
+  std::printf("\nlearned crossover persisted to %s and reloaded:\n"
+              "  BatchConfig::crossover_n = %lld (static default %lld)\n",
+              table_path.c_str(), static_cast<long long>(tuned.crossover_n),
               static_cast<long long>(BatchConfig{}.crossover_n));
   return 0;
 }

@@ -55,6 +55,49 @@ constexpr std::uint16_t float_to_half_bits(float f) noexcept {
   return static_cast<std::uint16_t>(sign | rounded);
 }
 
+/// double -> binary16 bit pattern, IEEE round-to-nearest-even in a SINGLE
+/// rounding. Narrowing through float first (the static_cast<float> chain)
+/// double-rounds: a double just above a float-representable half-way point
+/// collapses onto it in the first rounding and then ties to even in the
+/// second, off by one half ULP. Example: 1 + 2^-11 + 2^-30 must round up to
+/// 0x3C01, but double->float gives exactly 1 + 2^-11 (a tie) and the tie
+/// rounds to even 0x3C00.
+constexpr std::uint16_t double_to_half_bits(double d) noexcept {
+  const std::uint64_t x = std::bit_cast<std::uint64_t>(d);
+  const auto sign = static_cast<std::uint16_t>((x >> 48) & 0x8000u);
+  const std::uint64_t ax = x & 0x7FFFFFFFFFFFFFFFull;
+
+  if (ax >= 0x7FF0000000000000ull) {  // Inf or NaN
+    const std::uint16_t nan_payload = ax > 0x7FF0000000000000ull ? 0x0200u : 0x0000u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | nan_payload);
+  }
+
+  const int e = static_cast<int>(ax >> 52) - 1023;  // unbiased exponent
+  if (e < -25) return sign;                         // below half of min subnormal: 0
+  if (e > 15) return static_cast<std::uint16_t>(sign | 0x7C00u);  // certain overflow
+
+  const std::uint64_t mant = (ax & 0xFFFFFFFFFFFFFull) | 0x10000000000000ull;  // 53-bit
+  // Bits dropped: 42 for normals, more for subnormal targets (e < -14).
+  const int shift = (e >= -14) ? 42 : (42 + (-14 - e));
+  const std::uint64_t lsb = std::uint64_t{1} << shift;
+  const std::uint64_t rounded =
+      (mant + (lsb >> 1) - 1u + ((mant >> shift) & 1u)) >> shift;
+
+  if (e >= -14) {  // normal target range
+    int he = e + 15;
+    std::uint64_t hm = rounded;
+    if (hm >= 0x800u) {  // mantissa overflow from rounding: 2.0 -> exponent+1
+      hm >>= 1;
+      ++he;
+    }
+    if (he >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(he) << 10) |
+                                      static_cast<std::uint32_t>(hm & 0x3FFu));
+  }
+  // Subnormal target (may round up into the smallest normal: 0x400 == 2^-14).
+  return static_cast<std::uint16_t>(sign | static_cast<std::uint32_t>(rounded));
+}
+
 /// binary16 bit pattern -> float (exact; every half is representable).
 constexpr float half_bits_to_float(std::uint16_t h) noexcept {
   const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
@@ -86,7 +129,9 @@ class Half {
  public:
   constexpr Half() noexcept = default;
   constexpr explicit Half(float f) noexcept : bits_(detail::float_to_half_bits(f)) {}
-  constexpr explicit Half(double d) noexcept : Half(static_cast<float>(d)) {}
+  /// Correctly rounded in a single step (see detail::double_to_half_bits —
+  /// narrowing through float first can double-round).
+  constexpr explicit Half(double d) noexcept : bits_(detail::double_to_half_bits(d)) {}
   constexpr explicit Half(int i) noexcept : Half(static_cast<float>(i)) {}
 
   /// Reinterpret a raw bit pattern as a Half.
@@ -136,6 +181,14 @@ constexpr bool isfinite(Half h) noexcept {
 }
 inline Half abs(Half h) noexcept {
   return Half::from_bits(static_cast<std::uint16_t>(h.bits() & 0x7FFFu));
+}
+
+/// Correctly-rounded double -> half narrowing (single rounding). Use this —
+/// or equivalently static_cast<Half>(double), which routes through the same
+/// bit-level conversion — when storing compute-precision results into FP16,
+/// e.g. the batched solver narrowing its double value reports.
+[[nodiscard]] constexpr Half half_from_double(double d) noexcept {
+  return Half::from_bits(detail::double_to_half_bits(d));
 }
 Half sqrt(Half h) noexcept;  // defined in half.cpp (uses <cmath>)
 

@@ -79,4 +79,19 @@ template <class CT>
   return std::numeric_limits<CT>::epsilon();
 }
 
+/// Narrow a compute/report value (double) into storage precision with one
+/// correctly-rounded conversion. The FP16 specialization routes through
+/// half_from_double (common/half.hpp): a double->float->half static_cast
+/// chain rounds twice and can be off by one ULP at float-representable
+/// half-way points.
+template <class T>
+[[nodiscard]] constexpr T narrow_from_double(double v) noexcept {
+  return static_cast<T>(v);
+}
+
+template <>
+[[nodiscard]] constexpr Half narrow_from_double<Half>(double v) noexcept {
+  return half_from_double(v);
+}
+
 }  // namespace unisvd

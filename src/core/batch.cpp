@@ -3,26 +3,32 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "common/half.hpp"
+#include "common/linalg_ref.hpp"
 #include "ka/thread_pool.hpp"
 
 namespace unisvd {
 
 namespace {
 
-/// Resolve Auto per problem; demote InterProblem when the backend cannot
-/// spread problems (no pool, or a pool of width 1).
+[[nodiscard]] bool pool_usable(ka::Backend& backend) {
+  ka::ThreadPool* pool = backend.batch_pool();
+  return pool != nullptr && pool->size() > 1 && !pool->in_job();
+}
+
+[[nodiscard]] index_t extent(const auto& a) { return std::max(a.rows(), a.cols()); }
+
+/// Resolve Auto/Mixed per problem; demote pool-based schedules when the
+/// backend cannot spread problems (no pool, or a pool of width 1).
 template <class T>
 std::vector<BatchSchedule> resolve_schedules(std::span<const ConstMatrixView<T>> batch,
                                              const BatchConfig& config,
                                              ka::Backend& backend) {
-  ka::ThreadPool* pool = backend.batch_pool();
-  const bool pool_usable = pool != nullptr && pool->size() > 1 && !pool->in_job();
-
   std::vector<BatchSchedule> schedules(batch.size(), BatchSchedule::IntraProblem);
-  if (!pool_usable) return schedules;
+  if (!pool_usable(backend)) return schedules;
 
   if (config.schedule == BatchSchedule::InterProblem) {
     std::fill(schedules.begin(), schedules.end(), BatchSchedule::InterProblem);
@@ -30,17 +36,62 @@ std::vector<BatchSchedule> resolve_schedules(std::span<const ConstMatrixView<T>>
   }
   if (config.schedule == BatchSchedule::IntraProblem) return schedules;
 
+  if (config.schedule == BatchSchedule::Mixed) {
+    // Everything is slot resident; problems above the crossover run with
+    // their kernel launches published for work stealing.
+    for (std::size_t p = 0; p < batch.size(); ++p) {
+      schedules[p] = extent(batch[p]) <= config.crossover_n
+                         ? BatchSchedule::InterProblem
+                         : BatchSchedule::Mixed;
+    }
+    return schedules;
+  }
+
   std::size_t small = 0;
   for (const auto& a : batch) {
-    if (std::max(a.rows(), a.cols()) <= config.crossover_n) ++small;
+    if (extent(a) <= config.crossover_n) ++small;
   }
   if (small < config.min_inter_problems) return schedules;
   for (std::size_t p = 0; p < batch.size(); ++p) {
-    if (std::max(batch[p].rows(), batch[p].cols()) <= config.crossover_n) {
+    if (extent(batch[p]) <= config.crossover_n) {
       schedules[p] = BatchSchedule::InterProblem;
     }
   }
   return schedules;
+}
+
+/// Solve problem `p` into `out`, classifying failures instead of leaking
+/// exceptions. Under ErrorPolicy::Throw a failure is rethrown as
+/// unisvd::Error after being recorded (the report is discarded by the
+/// unwind anyway); under Isolate it stays in the report.
+template <class T>
+void solve_problem(std::span<const ConstMatrixView<T>> batch, std::size_t p,
+                   const BatchConfig& config, ka::Backend& backend, SvdReport& out) {
+  const ConstMatrixView<T>& a = batch[p];
+  std::string reason;
+  if (a.rows() < 1 || a.cols() < 1) {
+    out.status = SvdStatus::InvalidInput;
+    reason = "matrix must be non-empty";
+  } else if (config.svd.check_finite && !ref::all_finite(a)) {
+    out.status = SvdStatus::NonFinite;
+    reason = "input contains NaN or Inf";
+  } else {
+    try {
+      SvdConfig cfg = config.svd;
+      cfg.check_finite = false;  // verified above; skip the second scan
+      out = svd_values_report<T>(a, cfg, backend);
+    } catch (const std::exception& e) {
+      out = SvdReport{};
+      out.status = SvdStatus::InternalError;
+      reason = e.what();
+    }
+  }
+  if (out.status != SvdStatus::Ok) {
+    out.values.clear();
+    out.status_message = "svd_values_batched: problem " + std::to_string(p) + ": " +
+                         reason + " [" + to_string(out.status) + "]";
+    if (config.on_error == ErrorPolicy::Throw) throw Error(out.status_message);
+  }
 }
 
 }  // namespace
@@ -60,31 +111,68 @@ BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
 
   const auto t0 = std::chrono::steady_clock::now();
 
-  std::vector<std::size_t> inter;
-  std::vector<std::size_t> intra;
-  for (std::size_t p = 0; p < batch.size(); ++p) {
-    (rep.schedules[p] == BatchSchedule::InterProblem ? inter : intra).push_back(p);
-  }
-
   std::vector<std::thread::id> problem_threads(batch.size());
-
-  // Inter-problem pass: one problem per pool slot. Inside a slot the
-  // problem's own kernel launches run inline (ThreadPool reentrancy), so
-  // per-problem SvdReports — stage times included — are written by exactly
-  // one thread each and never race.
-  if (!inter.empty()) {
-    ka::ThreadPool& pool = *backend.batch_pool();
-    pool.parallel_for(static_cast<index_t>(inter.size()), [&](index_t k) {
-      const std::size_t p = inter[static_cast<std::size_t>(k)];
-      problem_threads[p] = std::this_thread::get_id();
-      rep.reports[p] = svd_values_report<T>(batch[p], config.svd, backend);
-    });
-  }
-
-  // Intra-problem pass: sequential over problems, full backend per problem.
-  for (const std::size_t p : intra) {
+  const auto solve_into_slot = [&](std::size_t p) {
     problem_threads[p] = std::this_thread::get_id();
-    rep.reports[p] = svd_values_report<T>(batch[p], config.svd, backend);
+    solve_problem<T>(batch, p, config, backend, rep.reports[p]);
+  };
+
+  if (config.schedule == BatchSchedule::Mixed && pool_usable(backend)) {
+    // Work-stealing mixed run: one job over the whole batch. Large problems
+    // are claimed first (they hold a slot longest, and their kernel
+    // launches publish nested work), the small-problem queue drains
+    // inter-problem behind them, and slots that run out of queued problems
+    // steal workgroups from the still-running large slots.
+    std::vector<std::size_t> order(batch.size());
+    for (std::size_t p = 0; p < batch.size(); ++p) order[p] = p;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const bool la = rep.schedules[a] == BatchSchedule::Mixed;
+      const bool lb = rep.schedules[b] == BatchSchedule::Mixed;
+      if (la != lb) return la;  // large (Mixed-tagged) problems first
+      if (la && extent(batch[a]) != extent(batch[b])) {
+        return extent(batch[a]) > extent(batch[b]);  // longest large first
+      }
+      return false;  // small problems keep input order
+    });
+    ka::ThreadPool& pool = *backend.batch_pool();
+    ka::ParallelForOptions opts;
+    opts.work_stealing = true;
+    pool.parallel_for(
+        static_cast<index_t>(order.size()),
+        [&](index_t k) {
+          const std::size_t p = order[static_cast<std::size_t>(k)];
+          if (rep.schedules[p] == BatchSchedule::InterProblem) {
+            // Small problems keep their launches inline and thread-resident
+            // (the InterProblem contract): no publish overhead, no stealing.
+            ka::ScopedInlineNested inline_nested;
+            solve_into_slot(p);
+          } else {
+            solve_into_slot(p);
+          }
+        },
+        opts);
+  } else {
+    std::vector<std::size_t> inter;
+    std::vector<std::size_t> intra;
+    for (std::size_t p = 0; p < batch.size(); ++p) {
+      (rep.schedules[p] == BatchSchedule::InterProblem ? inter : intra).push_back(p);
+    }
+
+    // Inter-problem pass: one problem per pool slot. Inside a slot the
+    // problem's own kernel launches run inline (ThreadPool reentrancy), so
+    // per-problem SvdReports — stage times included — are written by exactly
+    // one thread each and never race.
+    if (!inter.empty()) {
+      ka::ThreadPool& pool = *backend.batch_pool();
+      pool.parallel_for(static_cast<index_t>(inter.size()), [&](index_t k) {
+        solve_into_slot(inter[static_cast<std::size_t>(k)]);
+      });
+    }
+
+    // Intra-problem pass: sequential over problems, full backend per problem.
+    for (const std::size_t p : intra) {
+      solve_into_slot(p);
+    }
   }
 
   rep.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -4,7 +4,7 @@
 /// solved in one call, the serving-scale regime of batched GPU solvers
 /// (Abdelfattah et al.; Boukaram et al.) layered on the unified pipeline.
 ///
-/// Two scheduling policies, chosen per problem:
+/// Three scheduling policies, chosen per problem:
 ///
 ///   * InterProblem — one problem per ka::ThreadPool slot. Each problem
 ///     runs its full pipeline on one thread (nested kernel launches execute
@@ -14,17 +14,27 @@
 ///   * IntraProblem — problems run one after another, each using the whole
 ///     backend for its own kernel launches. Right for matrices big enough
 ///     that a single problem can occupy every core.
+///   * Mixed — work-stealing over a ragged batch: every problem is slot
+///     resident (large problems claimed first, then the small-problem queue
+///     drains inter-problem), and slots left idle once the queue dries up
+///     steal workgroups from the large problems' kernel launches
+///     (ThreadPool work-stealing mode). Large tails no longer serialize.
 ///
-/// BatchSchedule::Auto picks per problem by a size crossover
+/// BatchSchedule::Auto picks inter/intra per problem by a size crossover
 /// (BatchConfig::crossover_n), which core/tuner.hpp can learn empirically
-/// (tune_batch_crossover). Batches may be uniform or ragged: any mix of
-/// sizes, shapes (rectangular supported) — precision is fixed per call by
-/// the element type. Results are identical to looping svd_values one
-/// matrix at a time, whichever schedule runs. One caveat: with a
-/// TraceRecorder attached, an inter-problem run interleaves launch records
-/// from concurrent problems in nondeterministic order (each problem's own
-/// launch sequence is unchanged) — use the intra schedule when comparing
-/// trace streams.
+/// (tune_batch_crossover) and persist in a core::TuningTable. Batches may
+/// be uniform or ragged: any mix of sizes, shapes (rectangular supported) —
+/// precision is fixed per call by the element type. Results are identical
+/// to looping svd_values one matrix at a time, whichever schedule runs. One
+/// caveat: with a TraceRecorder attached, inter-problem and mixed runs
+/// interleave launch records from concurrent problems in nondeterministic
+/// order (each problem's own launch sequence is unchanged) — use the intra
+/// schedule when comparing trace streams.
+///
+/// Failure handling is policy-driven (BatchConfig::on_error): Throw
+/// preserves the historic all-or-nothing contract, Isolate records a
+/// per-problem SvdStatus in the report so one bad matrix cannot poison the
+/// rest of the batch.
 ///
 /// Usage:
 ///   std::vector<ConstMatrixView<float>> batch = ...;
@@ -42,7 +52,9 @@ namespace unisvd {
 enum class BatchSchedule {
   Auto,          ///< per problem: InterProblem below the crossover, else Intra
   InterProblem,  ///< one problem per pool slot, serial inside each problem
-  IntraProblem   ///< problems sequential, kernels parallel inside each
+  IntraProblem,  ///< problems sequential, kernels parallel inside each
+  Mixed          ///< work-stealing: slot-resident problems, idle slots help
+                 ///< the large problems' kernel launches
 };
 
 [[nodiscard]] constexpr const char* to_string(BatchSchedule s) noexcept {
@@ -50,6 +62,23 @@ enum class BatchSchedule {
     case BatchSchedule::Auto: return "auto";
     case BatchSchedule::InterProblem: return "inter";
     case BatchSchedule::IntraProblem: return "intra";
+    case BatchSchedule::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+/// What a per-problem failure does to the rest of the batch.
+enum class ErrorPolicy {
+  Throw,   ///< first failure aborts the whole call with unisvd::Error
+           ///< (all-or-nothing, the historic contract)
+  Isolate  ///< failures are recorded in the per-problem SvdReport (status,
+           ///< status_message); every healthy problem still completes
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorPolicy p) noexcept {
+  switch (p) {
+    case ErrorPolicy::Throw: return "throw";
+    case ErrorPolicy::Isolate: return "isolate";
   }
   return "?";
 }
@@ -60,10 +89,15 @@ struct BatchConfig {
   SvdConfig svd;
   /// Scheduling policy. Auto decides per problem from `crossover_n`.
   BatchSchedule schedule = BatchSchedule::Auto;
-  /// Auto crossover: a problem with max(rows, cols) <= crossover_n is small
-  /// enough that inter-problem parallelism beats parallelizing its own
-  /// kernels. Default from CPU-backend measurements; tune_batch_crossover
-  /// (core/tuner.hpp) learns the value for a given backend and precision.
+  /// Failure policy: Throw (default, all-or-nothing) or Isolate
+  /// (per-problem status, no exception for problem-level failures).
+  ErrorPolicy on_error = ErrorPolicy::Throw;
+  /// Size crossover used by Auto and Mixed: a problem with max(rows, cols)
+  /// <= crossover_n is small enough that inter-problem parallelism beats
+  /// parallelizing its own kernels. Default from CPU-backend measurements;
+  /// tune_batch_crossover (core/tuner.hpp) learns the value for a given
+  /// backend and precision, and core::TuningTable persists it
+  /// (core::tuned_batch_config builds a config from the table).
   index_t crossover_n = 192;
   /// Auto runs the inter-problem pass only when at least this many problems
   /// qualify (a lone small problem gains nothing from the pool).
@@ -77,32 +111,58 @@ struct BatchConfig {
 
 /// Result of one batched call with per-problem diagnostics.
 struct BatchReport {
-  /// Per-problem reports, in input order (values, stage times, padding).
+  /// Per-problem reports, in input order (values, stage times, padding,
+  /// and — under ErrorPolicy::Isolate — the per-problem status).
   std::vector<SvdReport> reports;
-  /// Schedule each problem actually ran under (InterProblem or
-  /// IntraProblem; never Auto). Inter demotes to Intra when the backend has
+  /// Schedule each problem actually ran under (InterProblem, IntraProblem,
+  /// or Mixed for a slot whose kernel launches were open to work stealing;
+  /// never Auto). Pool-based schedules demote to Intra when the backend has
   /// no thread pool to spread problems over.
   std::vector<BatchSchedule> schedules;
   /// Stage times summed over all problems (CPU seconds, not wall clock).
   ka::StageTimes stage_times;
   /// Distinct threads that executed problems — > 1 shows the inter-problem
-  /// path really spread across the pool.
+  /// path really spread across the pool. (Stolen kernel workgroups run on
+  /// additional threads not counted here.)
   std::size_t threads_used = 0;
   /// Wall-clock seconds for the whole batch.
   double seconds = 0.0;
+
+  /// True when every problem solved (status Ok). Always true for reports
+  /// returned under ErrorPolicy::Throw (failures throw instead).
+  [[nodiscard]] bool all_ok() const noexcept {
+    for (const auto& r : reports) {
+      if (r.status != SvdStatus::Ok) return false;
+    }
+    return true;
+  }
+  /// Number of problems whose status is not Ok.
+  [[nodiscard]] std::size_t failed_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : reports) {
+      if (r.status != SvdStatus::Ok) ++n;
+    }
+    return n;
+  }
 };
 
-/// Solve every problem of the batch and return full diagnostics. Throws
-/// unisvd::Error on the first invalid problem (empty matrix, non-finite
-/// input with check_finite) — all-or-nothing, no partial results. An empty
-/// batch returns an empty report.
+/// Solve every problem of the batch and return full diagnostics. Under
+/// ErrorPolicy::Throw (default) the first invalid problem (empty matrix,
+/// non-finite input with check_finite, solver failure) raises unisvd::Error
+/// and no partial results are returned; under ErrorPolicy::Isolate the
+/// failure is recorded in that problem's report (status, status_message,
+/// empty values) and every other problem completes normally. An empty batch
+/// returns an empty report.
 template <class T>
 BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
                                       const BatchConfig& config = {},
                                       ka::Backend& backend = ka::default_backend());
 
 /// Singular values of every problem (descending, min(m_i, n_i) each), in
-/// storage precision — the batched `svdvals`.
+/// storage precision — the batched `svdvals`. FP16 narrows through the
+/// correctly-rounded half_from_double path (common/half.hpp). Under
+/// ErrorPolicy::Isolate a failed problem yields an empty vector (inspect
+/// the report variant for its status).
 template <class T>
 std::vector<std::vector<T>> svd_values_batched(
     std::span<const ConstMatrixView<T>> batch, const BatchConfig& config = {},
@@ -113,7 +173,7 @@ std::vector<std::vector<T>> svd_values_batched(
     const auto& values = rep.reports[p].values;
     out[p].resize(values.size());
     for (std::size_t i = 0; i < values.size(); ++i) {
-      out[p][i] = static_cast<T>(values[i]);
+      out[p][i] = narrow_from_double<T>(values[i]);
     }
   }
   return out;

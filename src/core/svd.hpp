@@ -14,6 +14,7 @@
 ///   unisvd::Matrix<float> a = ...;
 ///   std::vector<float> sigma = unisvd::svd_values(a.view());
 
+#include <string>
 #include <vector>
 
 #include "band/band_to_bidiag.hpp"
@@ -44,6 +45,28 @@ struct SvdConfig {
   void validate() const { kernels.validate(); }
 };
 
+/// Outcome of one solve. The throwing entry points (svd_values,
+/// svd_values_report) only ever return Ok reports; the batched solver under
+/// BatchConfig::on_error == ErrorPolicy::Isolate records failures here
+/// instead of aborting the batch, so one bad matrix cannot poison its
+/// neighbors.
+enum class SvdStatus {
+  Ok,
+  InvalidInput,   ///< empty matrix / malformed problem
+  NonFinite,      ///< input contains NaN or Inf (check_finite)
+  InternalError   ///< the solver threw (bad config, convergence failure, ...)
+};
+
+[[nodiscard]] constexpr const char* to_string(SvdStatus s) noexcept {
+  switch (s) {
+    case SvdStatus::Ok: return "ok";
+    case SvdStatus::InvalidInput: return "invalid-input";
+    case SvdStatus::NonFinite: return "non-finite";
+    case SvdStatus::InternalError: return "internal-error";
+  }
+  return "?";
+}
+
 /// Result with diagnostics (per-stage wall clock feeds Figure 6).
 struct SvdReport {
   std::vector<double> values;   ///< singular values, descending, min(m,n)
@@ -51,6 +74,8 @@ struct SvdReport {
   band::ChaseStats chase_stats; ///< Stage-2 rotation counts
   index_t padded_n = 0;         ///< square working extent after padding
   double scale_factor = 1.0;    ///< auto_scale divisor applied to the input
+  SvdStatus status = SvdStatus::Ok;  ///< per-problem outcome (batched Isolate)
+  std::string status_message;   ///< empty when Ok; human-readable reason otherwise
 };
 
 /// Singular values with per-stage diagnostics. Rectangular inputs are
@@ -70,7 +95,7 @@ std::vector<T> svd_values(ConstMatrixView<T> a, const SvdConfig& config = {},
   const SvdReport rep = svd_values_report(a, config, backend);
   std::vector<T> out(rep.values.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = static_cast<T>(rep.values[i]);
+    out[i] = narrow_from_double<T>(rep.values[i]);
   }
   return out;
 }

@@ -1,8 +1,12 @@
 #include "core/tuner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <fstream>
 #include <limits>
+#include <optional>
+#include <sstream>
 
 #include "common/half.hpp"
 #include "core/batch.hpp"
@@ -173,5 +177,174 @@ template BatchCrossoverResult tune_batch_crossover<double>(ka::Backend&,
                                                            std::size_t, int,
                                                            const SvdConfig&,
                                                            std::uint64_t);
+
+namespace {
+
+std::optional<Precision> parse_precision(const std::string& tok) {
+  if (tok == "FP16") return Precision::FP16;
+  if (tok == "FP32") return Precision::FP32;
+  if (tok == "FP64") return Precision::FP64;
+  return std::nullopt;
+}
+
+/// Fallback precisions, nearest first. FP16 and FP32 prefer each other
+/// (they share the FP32 compute path, so tuned values transfer well) before
+/// falling back to FP64, and vice versa.
+std::array<Precision, 2> precision_neighbors(Precision p) {
+  switch (p) {
+    case Precision::FP16: return {Precision::FP32, Precision::FP64};
+    case Precision::FP32: return {Precision::FP16, Precision::FP64};
+    case Precision::FP64: return {Precision::FP32, Precision::FP16};
+  }
+  return {Precision::FP32, Precision::FP64};
+}
+
+}  // namespace
+
+template <class V>
+const V* TuningTable::lookup(const std::map<Key, V>& entries, std::string_view backend,
+                             Precision p) {
+  const auto exact = entries.find(Key{std::string(backend), p});
+  if (exact != entries.end()) return &exact->second;
+  for (const Precision q : precision_neighbors(p)) {
+    const auto near = entries.find(Key{std::string(backend), q});
+    if (near != entries.end()) return &near->second;
+  }
+  return nullptr;
+}
+
+void TuningTable::set_batch_crossover(std::string_view backend, Precision p,
+                                      index_t crossover_n) {
+  UNISVD_REQUIRE(crossover_n >= 0, "TuningTable: crossover must be >= 0");
+  UNISVD_REQUIRE(backend.find_first_of(" \t\n#") == std::string_view::npos,
+                 "TuningTable: backend names must be free of whitespace and '#' "
+                 "(the text format's separators and comment marker)");
+  crossovers_[Key{std::string(backend), p}] = crossover_n;
+}
+
+std::optional<index_t> TuningTable::batch_crossover(std::string_view backend,
+                                                    Precision p) const {
+  const auto it = crossovers_.find(Key{std::string(backend), p});
+  if (it == crossovers_.end()) return std::nullopt;
+  return it->second;
+}
+
+index_t TuningTable::batch_crossover_or(std::string_view backend, Precision p,
+                                        index_t fallback) const {
+  const index_t* hit = lookup(crossovers_, backend, p);
+  return hit != nullptr ? *hit : fallback;
+}
+
+void TuningTable::set_kernels(std::string_view backend, Precision p,
+                              const qr::KernelConfig& cfg) {
+  cfg.validate();
+  UNISVD_REQUIRE(backend.find_first_of(" \t\n#") == std::string_view::npos,
+                 "TuningTable: backend names must be free of whitespace and '#' "
+                 "(the text format's separators and comment marker)");
+  kernel_configs_[Key{std::string(backend), p}] = cfg;
+}
+
+std::optional<qr::KernelConfig> TuningTable::kernels(std::string_view backend,
+                                                     Precision p) const {
+  const auto it = kernel_configs_.find(Key{std::string(backend), p});
+  if (it == kernel_configs_.end()) return std::nullopt;
+  return it->second;
+}
+
+qr::KernelConfig TuningTable::kernels_or(std::string_view backend, Precision p,
+                                         const qr::KernelConfig& fallback) const {
+  const qr::KernelConfig* hit = lookup(kernel_configs_, backend, p);
+  return hit != nullptr ? *hit : fallback;
+}
+
+void TuningTable::write(std::ostream& os) const {
+  os << "# unisvd tuning table v1\n";
+  for (const auto& [key, crossover] : crossovers_) {
+    os << "crossover " << key.first << ' ' << to_string(key.second) << ' '
+       << crossover << '\n';
+  }
+  for (const auto& [key, cfg] : kernel_configs_) {
+    os << "kernels " << key.first << ' ' << to_string(key.second) << ' '
+       << cfg.tilesize << ' ' << cfg.colperblock << ' ' << cfg.splitk << ' '
+       << (cfg.fused ? 1 : 0) << '\n';
+  }
+}
+
+TuningTable TuningTable::read(std::istream& is) {
+  TuningTable table;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank line
+    std::string backend;
+    std::string prec_tok;
+    if (!(ls >> backend >> prec_tok)) continue;  // malformed: skip
+    const auto p = parse_precision(prec_tok);
+    if (!p) continue;
+    if (directive == "crossover") {
+      index_t crossover = -1;
+      if (!(ls >> crossover) || crossover < 0) continue;
+      table.crossovers_[Key{backend, *p}] = crossover;
+    } else if (directive == "kernels") {
+      qr::KernelConfig cfg;
+      int fused = 0;
+      if (!(ls >> cfg.tilesize >> cfg.colperblock >> cfg.splitk >> fused)) continue;
+      cfg.fused = fused != 0;
+      try {
+        cfg.validate();
+      } catch (const Error&) {
+        continue;  // corrupt entry: skip, keep the rest of the table
+      }
+      table.kernel_configs_[Key{backend, *p}] = cfg;
+    }
+    // Unknown directives are ignored (forward compatibility).
+  }
+  return table;
+}
+
+bool TuningTable::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+TuningTable TuningTable::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return TuningTable{};
+  return read(is);
+}
+
+template <class T>
+index_t learn_batch_crossover(TuningTable& table, ka::Backend& backend,
+                              std::vector<index_t> sizes,
+                              std::size_t problems_per_size, int repeats,
+                              const SvdConfig& config, std::uint64_t seed) {
+  const BatchCrossoverResult result = tune_batch_crossover<T>(
+      backend, std::move(sizes), problems_per_size, repeats, config, seed);
+  table.set_batch_crossover(backend.name(), precision_of<T>, result.crossover_n);
+  return result.crossover_n;
+}
+
+template index_t learn_batch_crossover<Half>(TuningTable&, ka::Backend&,
+                                             std::vector<index_t>, std::size_t, int,
+                                             const SvdConfig&, std::uint64_t);
+template index_t learn_batch_crossover<float>(TuningTable&, ka::Backend&,
+                                              std::vector<index_t>, std::size_t, int,
+                                              const SvdConfig&, std::uint64_t);
+template index_t learn_batch_crossover<double>(TuningTable&, ka::Backend&,
+                                               std::vector<index_t>, std::size_t, int,
+                                               const SvdConfig&, std::uint64_t);
+
+BatchConfig tuned_batch_config(const TuningTable& table, const ka::Backend& backend,
+                               Precision p, BatchConfig base) {
+  base.crossover_n = table.batch_crossover_or(backend.name(), p, base.crossover_n);
+  base.svd.kernels = table.kernels_or(backend.name(), p, base.svd.kernels);
+  return base;
+}
 
 }  // namespace unisvd::core

@@ -8,10 +8,16 @@
 /// backend) and picks the fastest Phase-1 configuration — the same
 /// procedure the paper runs per hardware/precision combination.
 
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "common/precision.hpp"
+#include "core/batch.hpp"
 #include "core/svd.hpp"
 #include "ka/backend.hpp"
 #include "qr/kernel_config.hpp"
@@ -68,5 +74,80 @@ template <class T>
     ka::Backend& backend, std::vector<index_t> sizes = {},
     std::size_t problems_per_size = 8, int repeats = 2,
     const SvdConfig& config = {}, std::uint64_t seed = 42);
+
+/// Persisted empirical-tuning results, keyed by (backend name, precision) —
+/// the runtime counterpart of the compile-time device tables in
+/// sim/tuning.hpp. Holds the learned batch-schedule crossover
+/// (tune_batch_crossover) and the fastest Phase-1 kernel configuration
+/// (autotune), so BatchConfig::crossover_n and SvdConfig::kernels defaults
+/// come from measurements instead of hardcoded constants.
+///
+/// Lookups fall back sim::tuned_kernel_config-style: exact (backend,
+/// precision) first, then the same backend's nearest precision (FP16 and
+/// FP32 prefer each other — they share the FP32 compute path — before
+/// FP64), then the caller-supplied default.
+///
+/// Text format, one entry per line ('#' starts a comment; unknown
+/// directives and malformed lines are skipped, so newer tables still load):
+///   crossover <backend> <FP16|FP32|FP64> <n>
+///   kernels <backend> <FP16|FP32|FP64> <tilesize> <colperblock> <splitk> <fused 0|1>
+/// Backend names must be free of whitespace and '#' — the format's
+/// separators and comment marker (every ka::Backend::name() is).
+class TuningTable {
+ public:
+  /// Learned BatchConfig::crossover_n for one backend/precision.
+  void set_batch_crossover(std::string_view backend, Precision p, index_t crossover_n);
+  [[nodiscard]] std::optional<index_t> batch_crossover(std::string_view backend,
+                                                       Precision p) const;
+  /// Crossover with fallback rules applied; `fallback` when nothing matches.
+  [[nodiscard]] index_t batch_crossover_or(std::string_view backend, Precision p,
+                                           index_t fallback) const;
+
+  /// Fastest measured Phase-1 kernel configuration (core::autotune).
+  void set_kernels(std::string_view backend, Precision p, const qr::KernelConfig& cfg);
+  [[nodiscard]] std::optional<qr::KernelConfig> kernels(std::string_view backend,
+                                                        Precision p) const;
+  [[nodiscard]] qr::KernelConfig kernels_or(std::string_view backend, Precision p,
+                                            const qr::KernelConfig& fallback) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return crossovers_.size() + kernel_configs_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  void write(std::ostream& os) const;
+  [[nodiscard]] static TuningTable read(std::istream& is);
+
+  /// Serialize to `path`; false on I/O failure.
+  [[nodiscard]] bool save(const std::string& path) const;
+  /// Parse `path`. Graceful: a missing/unreadable file yields an empty
+  /// table and malformed lines are skipped — callers always get their
+  /// fallbacks instead of an exception.
+  [[nodiscard]] static TuningTable load(const std::string& path);
+
+ private:
+  using Key = std::pair<std::string, Precision>;
+  template <class V>
+  static const V* lookup(const std::map<Key, V>& entries, std::string_view backend,
+                         Precision p);
+
+  std::map<Key, index_t> crossovers_;
+  std::map<Key, qr::KernelConfig> kernel_configs_;
+};
+
+/// Run tune_batch_crossover and deposit the learned crossover into `table`
+/// under the backend's name and T's precision. Returns the crossover.
+template <class T>
+index_t learn_batch_crossover(TuningTable& table, ka::Backend& backend,
+                              std::vector<index_t> sizes = {},
+                              std::size_t problems_per_size = 8, int repeats = 2,
+                              const SvdConfig& config = {}, std::uint64_t seed = 42);
+
+/// BatchConfig whose crossover_n (and Phase-1 kernels, when measured) come
+/// from the table — the measurement-backed default for `backend`. Fields of
+/// `base` not covered by the table are preserved.
+[[nodiscard]] BatchConfig tuned_batch_config(const TuningTable& table,
+                                             const ka::Backend& backend, Precision p,
+                                             BatchConfig base = {});
 
 }  // namespace unisvd::core

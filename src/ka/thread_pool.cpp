@@ -1,5 +1,8 @@
 #include "ka/thread_pool.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 namespace unisvd::ka {
 
 namespace {
@@ -7,7 +10,19 @@ namespace {
 /// job). Lets a nested parallel_for detect itself and run inline instead of
 /// deadlocking on the single job slot.
 thread_local const ThreadPool* tls_running_pool = nullptr;
+/// True while the current thread executes an iteration of a work-stealing
+/// job: its nested parallel_for calls publish their range for helpers.
+thread_local bool tls_stealing_job = false;
+/// Set by ScopedInlineNested: publication is suppressed even inside a
+/// work-stealing job (small batch problems opt out of the per-launch cost).
+thread_local bool tls_inline_nested = false;
 }  // namespace
+
+ScopedInlineNested::ScopedInlineNested() noexcept : prev_(tls_inline_nested) {
+  tls_inline_nested = true;
+}
+
+ScopedInlineNested::~ScopedInlineNested() { tls_inline_nested = prev_; }
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) {
@@ -50,9 +65,7 @@ void ThreadPool::worker_loop() {
 
 bool ThreadPool::in_job() const noexcept { return tls_running_pool == this; }
 
-void ThreadPool::run_job(Job& job) {
-  const ThreadPool* const prev_pool = tls_running_pool;
-  tls_running_pool = this;
+void ThreadPool::drain(Job& job, bool notify_done) {
   for (;;) {
     const index_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) break;
@@ -69,7 +82,8 @@ void ThreadPool::run_job(Job& job) {
         job.failed.store(true, std::memory_order_relaxed);
       }
     }
-    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n &&
+        notify_done) {
       // Take the pool mutex before notifying: guarantees the waiter is
       // either not yet blocked (and will see done == n under the lock) or
       // already blocked (and receives this notification). Prevents the
@@ -78,15 +92,108 @@ void ThreadPool::run_job(Job& job) {
       done_cv_.notify_all();
     }
   }
+}
+
+void ThreadPool::run_job(Job& job) {
+  const ThreadPool* const prev_pool = tls_running_pool;
+  const bool prev_stealing = tls_stealing_job;
+  tls_running_pool = this;
+  tls_stealing_job = job.stealing;
+  drain(job, /*notify_done=*/true);
+  if (job.stealing) steal_until_done(job);
+  tls_stealing_job = prev_stealing;
   tls_running_pool = prev_pool;
 }
 
+void ThreadPool::steal_until_done(Job& job) {
+  // The top-level range has drained but iterations are still in flight:
+  // instead of going back to sleep, execute iterations of any nested
+  // parallel_for those in-flight slots publish. Backs off to short sleeps
+  // when nothing is stealable (e.g. a slot in a serial pipeline stage).
+  int idle_polls = 0;
+  while (job.done.load(std::memory_order_acquire) < job.n) {
+    if (help_one_nested()) {
+      idle_polls = 0;
+    } else if (++idle_polls < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+bool ThreadPool::help_one_nested() {
+  if (nested_open_.load(std::memory_order_acquire) == 0) return false;
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard lock(nested_mutex_);
+    for (const auto& j : nested_) {
+      if (j->next.load(std::memory_order_relaxed) < j->n) {
+        job = j;
+        break;
+      }
+    }
+  }
+  if (!job) return false;
+  drain(*job, /*notify_done=*/false);  // owners spin on done, no cv needed
+  return true;
+}
+
+void ThreadPool::run_published_nested(index_t n,
+                                      const std::function<void(index_t)>& fn) {
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  {
+    std::lock_guard lock(nested_mutex_);
+    nested_.push_back(job);
+  }
+  nested_open_.fetch_add(1, std::memory_order_release);
+
+  drain(*job, /*notify_done=*/false);  // the owner executes alongside stealers
+
+  {
+    std::lock_guard lock(nested_mutex_);
+    nested_.erase(std::find(nested_.begin(), nested_.end(), job));
+  }
+  nested_open_.fetch_sub(1, std::memory_order_release);
+
+  // Wait for stolen iterations still in flight. A straggler holding the
+  // shared_ptr after done == n only ever observes an exhausted range (next
+  // >= n) — it never touches fn, which dies with this frame. Same backoff
+  // as steal_until_done: on oversubscribed machines a pure yield spin would
+  // burn the timeslice the descheduled stealer needs to finish.
+  int idle_polls = 0;
+  while (job->done.load(std::memory_order_acquire) < job->n) {
+    if (++idle_polls < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
 void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn) {
+  parallel_for(n, fn, ParallelForOptions{});
+}
+
+void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn,
+                              const ParallelForOptions& opts) {
   if (n <= 0) return;
-  // Nested call from inside one of this pool's jobs: run inline. The outer
-  // job already owns a pool slot; trying to submit would corrupt the single
-  // job slot (and waiting on it could deadlock against ourselves).
-  if (n == 1 || workers_.empty() || in_job()) {
+  // Nested call from inside one of this pool's jobs: trying to submit would
+  // corrupt the single job slot (and waiting on it could deadlock against
+  // ourselves). Under a work-stealing job the range is published so idle
+  // workers can help; otherwise it runs inline on this thread.
+  if (in_job()) {
+    if (tls_stealing_job && !tls_inline_nested && n > 1 && !workers_.empty()) {
+      run_published_nested(n, fn);
+    } else {
+      for (index_t i = 0; i < n; ++i) fn(i);
+    }
+    return;
+  }
+  if (n == 1 || workers_.empty()) {
     for (index_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -98,6 +205,7 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn)
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->n = n;
+  job->stealing = opts.work_stealing;
   {
     std::lock_guard lock(mutex_);
     current_ = job;

@@ -12,6 +12,14 @@
 /// kernel launches degrade to serial execution within the slot), and
 /// top-level calls from distinct external threads serialize on a submit
 /// lock, so concurrent batches never corrupt the single job slot.
+///
+/// Work-stealing mode (ParallelForOptions::work_stealing): workers that
+/// drain the top-level index space stay in the job instead of going back to
+/// sleep, and steal iterations from nested parallel_for calls published by
+/// slots still running long iterations. The batch solver's Mixed schedule
+/// is built on this: slots left idle once the small-problem queue dries up
+/// execute workgroups of the large problems' kernel launches, so a ragged
+/// batch no longer serializes its tail.
 
 #include <atomic>
 #include <condition_variable>
@@ -26,6 +34,34 @@
 #include "common/matrix.hpp"
 
 namespace unisvd::ka {
+
+/// Suppresses work-stealing publication of nested parallel_for ranges on
+/// the current thread while alive: nested calls run inline exactly as in a
+/// non-stealing job. The batch solver's Mixed schedule wraps small
+/// (inter-tagged) problems in this scope so their tiny launches skip the
+/// publish overhead (a heap job + global registry lock per launch) and stay
+/// thread-resident, while the large problems in the same job keep
+/// publishing. Nests safely; pool-agnostic (purely thread-local).
+class ScopedInlineNested {
+ public:
+  ScopedInlineNested() noexcept;
+  ~ScopedInlineNested();
+  ScopedInlineNested(const ScopedInlineNested&) = delete;
+  ScopedInlineNested& operator=(const ScopedInlineNested&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Per-call knobs of ThreadPool::parallel_for.
+struct ParallelForOptions {
+  /// Keep workers that exhaust the top-level index space inside the job,
+  /// stealing iterations from nested parallel_for calls published by slots
+  /// still running long iterations (instead of sleeping until the job
+  /// completes). Nested calls made from inside a work-stealing job publish
+  /// their range for helpers; without the flag they run inline as before.
+  bool work_stealing = false;
+};
 
 class ThreadPool {
  public:
@@ -46,29 +82,46 @@ class ThreadPool {
   /// pool plus the calling thread. Blocks until all iterations finish.
   /// Exceptions from fn propagate to the caller (first one wins).
   /// Reentrant: when called from inside a job of this pool, the iterations
-  /// run inline on the current thread.
+  /// run inline on the current thread — unless the enclosing job was
+  /// submitted with work_stealing, in which case the range is published and
+  /// idle workers help execute it (the caller still blocks until every
+  /// iteration finished, and results are identical either way).
   void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+  void parallel_for(index_t n, const std::function<void(index_t)>& fn,
+                    const ParallelForOptions& opts);
 
   /// True when the current thread is executing an iteration of one of this
-  /// pool's jobs (a nested parallel_for would therefore run inline).
+  /// pool's jobs (a nested parallel_for would therefore run inline or be
+  /// published for stealing; see ParallelForOptions).
   [[nodiscard]] bool in_job() const noexcept;
 
  private:
-  /// One parallel_for invocation. Heap-held via shared_ptr so that a
-  /// straggler worker that merely observes "no work left" can never touch a
-  /// destroyed job.
+  /// One parallel_for invocation — top-level or nested (published for
+  /// stealing). Heap-held via shared_ptr so that a straggler worker that
+  /// merely observes "no work left" can never touch a destroyed job.
   struct Job {
     const std::function<void(index_t)>* fn = nullptr;
     std::atomic<index_t> next{0};
     std::atomic<index_t> done{0};
     std::atomic<bool> failed{false};  ///< set once an iteration threw
     index_t n = 0;
+    bool stealing = false;  ///< workers help nested jobs after the range drains
     std::exception_ptr error;
     std::mutex error_mutex;
   };
 
   void worker_loop();
   void run_job(Job& job);
+  /// Pop-and-execute loop shared by owners, workers and stealers. Counts
+  /// skipped iterations after a failure so done == n always completes.
+  void drain(Job& job, bool notify_done);
+  /// Nested parallel_for under a work-stealing job: publish, drain, wait.
+  void run_published_nested(index_t n, const std::function<void(index_t)>& fn);
+  /// Execute iterations of one published nested job, if any has work left.
+  bool help_one_nested();
+  /// Post-drain phase of a work-stealing job: help nested jobs until every
+  /// top-level iteration has finished.
+  void steal_until_done(Job& job);
 
   std::vector<std::thread> workers_;
   std::mutex submit_mutex_;  ///< serializes top-level parallel_for calls
@@ -78,6 +131,10 @@ class ThreadPool {
   std::shared_ptr<Job> current_;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+
+  std::mutex nested_mutex_;  ///< guards the published-nested-job list
+  std::vector<std::shared_ptr<Job>> nested_;
+  std::atomic<int> nested_open_{0};  ///< lock-free emptiness check for stealers
 };
 
 }  // namespace unisvd::ka

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/precision.hpp"
 #include "rand/rng.hpp"
 #include "rand/spectrum.hpp"
 
@@ -40,12 +41,15 @@ Matrix<double> matrix_with_spectrum_fast(const std::vector<double>& sigma,
                                          Xoshiro256& rng, int reflectors = 32);
 
 /// Round a double matrix into storage type T (the precision under test).
+/// One correctly-rounded conversion per element (narrow_from_double): the
+/// perturbation measured for reduced precisions is exactly one rounding,
+/// never a double-rounded chain.
 template <class T>
 Matrix<T> round_to(const Matrix<double>& a) {
   Matrix<T> out(a.rows(), a.cols());
   for (index_t j = 0; j < a.cols(); ++j) {
     for (index_t i = 0; i < a.rows(); ++i) {
-      out(i, j) = static_cast<T>(a(i, j));
+      out(i, j) = narrow_from_double<T>(a(i, j));
     }
   }
   return out;

@@ -1,0 +1,257 @@
+/// Stress/property tests for the batched SVD solver: randomized ragged
+/// batches (sizes 1..512, rectangular shapes, all three precisions) run
+/// under all four schedules and checked against the sequential solver;
+/// batches with injected NaN/Inf/empty problems under ErrorPolicy::Isolate,
+/// asserting failures are classified and never poison healthy neighbors;
+/// and a repeated-Mixed soak that shakes the work-stealing path (the
+/// ThreadSanitizer CI job runs this binary).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "rand/rng.hpp"
+#include "test_util.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+// Debug builds run the pipeline an order of magnitude slower; keep the
+// stress sizes meaningful but bounded there.
+#ifdef NDEBUG
+constexpr index_t kMaxStressN = 512;
+#else
+constexpr index_t kMaxStressN = 160;
+#endif
+
+/// Log-uniform random size in [1, max_n]: the ragged serving-traffic shape
+/// (many small problems, a heavy tail of large ones).
+index_t random_size(rnd::Xoshiro256& rng, index_t max_n) {
+  const double lo = 0.0;
+  const double hi = std::log2(static_cast<double>(max_n));
+  const double u = lo + (hi - lo) * rng.uniform();
+  const auto n = static_cast<index_t>(std::round(std::exp2(u)));
+  return std::clamp<index_t>(n, 1, max_n);
+}
+
+struct RaggedBatch {
+  std::vector<Matrix<double>> problems;  ///< double masters (reference data)
+};
+
+RaggedBatch make_random_ragged(std::uint64_t seed, std::size_t count, index_t max_n) {
+  RaggedBatch batch;
+  rnd::Xoshiro256 rng(seed);
+  for (std::size_t p = 0; p < count; ++p) {
+    index_t m = random_size(rng, max_n);
+    index_t n = m;
+    if (rng.uniform() < 0.3) {  // sometimes rectangular (tall or wide)
+      n = random_size(rng, max_n);
+    }
+    batch.problems.push_back(
+        testutil::random_matrix(m, n, seed * 1000 + p));
+  }
+  return batch;
+}
+
+template <class T>
+std::vector<Matrix<T>> convert_batch(const RaggedBatch& batch) {
+  std::vector<Matrix<T>> out;
+  out.reserve(batch.problems.size());
+  for (const auto& p : batch.problems) out.push_back(testutil::convert<T>(p));
+  return out;
+}
+
+using testutil::views_of;
+
+/// The batched run and the sequential loop execute identical deterministic
+/// kernels; agreement must sit far inside storage accuracy.
+template <class T>
+double agree_tol() {
+  return 8.0 * precision_traits<T>::storage_eps;
+}
+
+/// Sequential svd_values over every problem — computed once per batch and
+/// reused across all schedules (the reference solves dominate the suite's
+/// cost, especially under TSan).
+template <class T>
+std::vector<std::vector<T>> sequential_references(
+    const std::vector<Matrix<T>>& problems, const SvdConfig& cfg,
+    ka::Backend& backend) {
+  std::vector<std::vector<T>> refs;
+  refs.reserve(problems.size());
+  for (const auto& p : problems) refs.push_back(svd_values<T>(p.view(), cfg, backend));
+  return refs;
+}
+
+template <class T>
+void expect_problem_matches_sequential(const std::vector<T>& seq,
+                                       const std::vector<T>& batched_values,
+                                       std::size_t p) {
+  ASSERT_EQ(batched_values.size(), seq.size()) << "problem " << p;
+  const double scale =
+      std::max(1.0, seq.empty() ? 1.0 : std::abs(static_cast<double>(seq[0])));
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(batched_values[i]),
+                static_cast<double>(seq[i]), agree_tol<T>() * scale)
+        << "problem " << p << " sigma_" << i;
+  }
+}
+
+constexpr BatchSchedule kAllSchedules[] = {
+    BatchSchedule::Auto, BatchSchedule::InterProblem, BatchSchedule::IntraProblem,
+    BatchSchedule::Mixed};
+
+}  // namespace
+
+template <class T>
+class BatchStressTyped : public ::testing::Test {};
+using StorageTypes = ::testing::Types<Half, float, double>;
+TYPED_TEST_SUITE(BatchStressTyped, StorageTypes);
+
+TYPED_TEST(BatchStressTyped, RandomRaggedBatchesMatchSequentialUnderAllSchedules) {
+  ka::CpuBackend backend(4);
+  for (std::uint64_t seed : {1u, 2u}) {
+    const auto ragged = make_random_ragged(seed, 10, kMaxStressN);
+    const auto problems = convert_batch<TypeParam>(ragged);
+    const auto views = views_of(problems);
+    const auto refs =
+        sequential_references<TypeParam>(problems, BatchConfig{}.svd, backend);
+    for (const BatchSchedule schedule : kAllSchedules) {
+      BatchConfig cfg;
+      cfg.schedule = schedule;
+      const auto batched = svd_values_batched<TypeParam>(views, cfg, backend);
+      ASSERT_EQ(batched.size(), problems.size());
+      for (std::size_t p = 0; p < problems.size(); ++p) {
+        expect_problem_matches_sequential<TypeParam>(refs[p], batched[p], p);
+      }
+    }
+  }
+}
+
+TYPED_TEST(BatchStressTyped, InjectedFailuresAreIsolatedUnderAllSchedules) {
+  ka::CpuBackend backend(4);
+  const auto ragged = make_random_ragged(7, 9, kMaxStressN / 2);
+  auto problems = convert_batch<TypeParam>(ragged);
+
+  // Poison a third of the batch: NaN, Inf, and an empty problem.
+  std::set<std::size_t> poisoned;
+  problems[1](problems[1].rows() / 2, problems[1].cols() / 2) =
+      std::numeric_limits<TypeParam>::quiet_NaN();
+  poisoned.insert(1);
+  problems[4](0, 0) = std::numeric_limits<TypeParam>::infinity();
+  poisoned.insert(4);
+  problems[7] = Matrix<TypeParam>(0, 0);
+  poisoned.insert(7);
+
+  const auto views = views_of(problems);
+  // Reference solves for the healthy problems, once for all schedules (the
+  // poisoned ones would throw sequentially).
+  std::vector<std::vector<TypeParam>> refs(problems.size());
+  for (std::size_t p = 0; p < problems.size(); ++p) {
+    if (poisoned.count(p) == 0) {
+      refs[p] = svd_values<TypeParam>(problems[p].view(), BatchConfig{}.svd, backend);
+    }
+  }
+  for (const BatchSchedule schedule : kAllSchedules) {
+    BatchConfig cfg;
+    cfg.schedule = schedule;
+    cfg.on_error = ErrorPolicy::Isolate;
+    const auto rep = svd_values_batched_report<TypeParam>(views, cfg, backend);
+    ASSERT_EQ(rep.reports.size(), problems.size());
+    EXPECT_FALSE(rep.all_ok());
+    EXPECT_EQ(rep.failed_count(), poisoned.size());
+    for (std::size_t p = 0; p < problems.size(); ++p) {
+      const auto& r = rep.reports[p];
+      if (poisoned.count(p) != 0) {
+        EXPECT_NE(r.status, SvdStatus::Ok) << "problem " << p;
+        EXPECT_TRUE(r.values.empty());
+        EXPECT_FALSE(r.status_message.empty());
+        continue;
+      }
+      // Healthy neighbors are untouched by the failures: status Ok and
+      // values identical to a sequential solve.
+      EXPECT_EQ(r.status, SvdStatus::Ok) << "problem " << p << ": "
+                                         << r.status_message;
+      std::vector<TypeParam> narrowed(r.values.size());
+      for (std::size_t i = 0; i < r.values.size(); ++i) {
+        narrowed[i] = narrow_from_double<TypeParam>(r.values[i]);
+      }
+      expect_problem_matches_sequential<TypeParam>(refs[p], narrowed, p);
+    }
+    // Specific classification of the injected failures.
+    EXPECT_EQ(rep.reports[1].status, SvdStatus::NonFinite);
+    EXPECT_EQ(rep.reports[4].status, SvdStatus::NonFinite);
+    EXPECT_EQ(rep.reports[7].status, SvdStatus::InvalidInput);
+
+    // The same batch under Throw still aborts all-or-nothing.
+    BatchConfig throwing = cfg;
+    throwing.on_error = ErrorPolicy::Throw;
+    EXPECT_THROW((void)svd_values_batched<TypeParam>(views, throwing, backend), Error);
+  }
+}
+
+TEST(BatchStress, MixedSoakRepeatedRaggedRuns) {
+  // Repeated work-stealing runs over a batch with a deliberately heavy tail
+  // (large problems first claimed, small queue drained behind them). Under
+  // TSan this exercises publish/steal/unregister races; everywhere it
+  // checks the schedule resolution and result stability run-to-run.
+  ka::CpuBackend backend(4);
+  const auto ragged = make_random_ragged(11, 8, kMaxStressN);
+  const auto problems = convert_batch<float>(ragged);
+  const auto views = views_of(problems);
+  BatchConfig cfg;
+  cfg.schedule = BatchSchedule::Mixed;
+  cfg.crossover_n = 64;
+
+  std::vector<std::vector<double>> first_values;
+  for (int round = 0; round < 8; ++round) {
+    const auto rep = svd_values_batched_report<float>(views, cfg, backend);
+    ASSERT_EQ(rep.reports.size(), problems.size());
+    EXPECT_TRUE(rep.all_ok());
+    for (std::size_t p = 0; p < problems.size(); ++p) {
+      const index_t ext = std::max(views[p].rows(), views[p].cols());
+      EXPECT_EQ(rep.schedules[p], ext <= cfg.crossover_n ? BatchSchedule::InterProblem
+                                                         : BatchSchedule::Mixed);
+    }
+    if (round == 0) {
+      for (const auto& r : rep.reports) first_values.push_back(r.values);
+    } else {
+      for (std::size_t p = 0; p < problems.size(); ++p) {
+        ASSERT_EQ(rep.reports[p].values, first_values[p])
+            << "round " << round << " problem " << p
+            << ": work stealing must not change results";
+      }
+    }
+  }
+}
+
+TEST(BatchStress, SingleElementAndWidthOnePoolDegenerateCleanly) {
+  // Degenerate corners of the Mixed schedule: a one-problem batch, and a
+  // backend whose pool cannot spread work (width 1) demoting everything to
+  // the sequential intra path.
+  const auto a = testutil::random_matrix(96, 96, 3);
+  const std::vector<ConstMatrixView<double>> batch{a.view()};
+  BatchConfig cfg;
+  cfg.schedule = BatchSchedule::Mixed;
+  cfg.crossover_n = 32;
+
+  ka::CpuBackend wide(4);
+  const auto rep = svd_values_batched_report<double>(batch, cfg, wide);
+  ASSERT_EQ(rep.schedules.size(), 1u);
+  EXPECT_EQ(rep.schedules[0], BatchSchedule::Mixed);
+
+  ka::CpuBackend solo(1);
+  const auto solo_rep = svd_values_batched_report<double>(batch, cfg, solo);
+  EXPECT_EQ(solo_rep.schedules[0], BatchSchedule::IntraProblem);
+  ASSERT_EQ(solo_rep.reports[0].values.size(), rep.reports[0].values.size());
+  for (std::size_t i = 0; i < rep.reports[0].values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(solo_rep.reports[0].values[i], rep.reports[0].values[i]);
+  }
+}

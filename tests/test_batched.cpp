@@ -47,13 +47,7 @@ std::vector<Matrix<T>> make_ragged_problems(std::uint64_t seed) {
   return problems;
 }
 
-template <class T>
-std::vector<ConstMatrixView<T>> views_of(const std::vector<Matrix<T>>& problems) {
-  std::vector<ConstMatrixView<T>> views;
-  views.reserve(problems.size());
-  for (const auto& p : problems) views.push_back(p.view());
-  return views;
-}
+using testutil::views_of;
 
 /// Per-precision agreement tolerance between the batched solve and the
 /// sequential loop. The two run identical deterministic kernels, so they
@@ -96,7 +90,8 @@ TYPED_TEST(BatchedSvdTyped, UniformBatchMatchesSequential) {
   }
   ka::CpuBackend backend(4);
   for (const auto schedule :
-       {BatchSchedule::Auto, BatchSchedule::InterProblem, BatchSchedule::IntraProblem}) {
+       {BatchSchedule::Auto, BatchSchedule::InterProblem, BatchSchedule::IntraProblem,
+        BatchSchedule::Mixed}) {
     expect_matches_sequential<TypeParam>(problems, batch_config(schedule), backend);
   }
 }
@@ -105,7 +100,8 @@ TYPED_TEST(BatchedSvdTyped, RaggedBatchMatchesSequential) {
   const auto problems = make_ragged_problems<TypeParam>(7);
   ka::CpuBackend backend(4);
   for (const auto schedule :
-       {BatchSchedule::Auto, BatchSchedule::InterProblem, BatchSchedule::IntraProblem}) {
+       {BatchSchedule::Auto, BatchSchedule::InterProblem, BatchSchedule::IntraProblem,
+        BatchSchedule::Mixed}) {
     expect_matches_sequential<TypeParam>(problems, batch_config(schedule), backend);
   }
 }
@@ -188,16 +184,95 @@ TEST(BatchedSvd, InterProblemPathUsesMultiplePoolThreads) {
   EXPECT_GE(max_threads, 2u);
 }
 
+TEST(BatchedSvd, MixedResolvesLargeProblemsToStealingSlots) {
+  const auto small = testutil::convert<double>(testutil::random_matrix(16, 16, 1));
+  const auto small2 = testutil::convert<double>(testutil::random_matrix(16, 16, 2));
+  const auto large = testutil::convert<double>(testutil::random_matrix(64, 64, 3));
+  const std::vector<ConstMatrixView<double>> batch{small.view(), large.view(),
+                                                   small2.view()};
+  auto cfg = batch_config(BatchSchedule::Mixed);
+  cfg.crossover_n = 32;
+
+  ka::CpuBackend cpu(4);
+  const auto rep = svd_values_batched_report<double>(batch, cfg, cpu);
+  ASSERT_EQ(rep.schedules.size(), 3u);
+  EXPECT_EQ(rep.schedules[0], BatchSchedule::InterProblem);
+  EXPECT_EQ(rep.schedules[1], BatchSchedule::Mixed);
+  EXPECT_EQ(rep.schedules[2], BatchSchedule::InterProblem);
+
+  // Without a pool the mixed schedule demotes to sequential intra, with
+  // identical results.
+  ka::SerialBackend serial;
+  const auto srep = svd_values_batched_report<double>(batch, cfg, serial);
+  for (const auto s : srep.schedules) EXPECT_EQ(s, BatchSchedule::IntraProblem);
+  for (std::size_t p = 0; p < batch.size(); ++p) {
+    ASSERT_EQ(srep.reports[p].values.size(), rep.reports[p].values.size());
+    for (std::size_t i = 0; i < srep.reports[p].values.size(); ++i) {
+      EXPECT_DOUBLE_EQ(srep.reports[p].values[i], rep.reports[p].values[i]);
+    }
+  }
+}
+
 TEST(BatchedSvd, PropagatesPerProblemErrors) {
   const auto good = testutil::random_matrix(16, 16, 21);
   Matrix<double> bad(16, 16, 1.0);
   bad(3, 3) = std::numeric_limits<double>::quiet_NaN();
   const std::vector<ConstMatrixView<double>> batch{good.view(), bad.view()};
   ka::CpuBackend backend(4);
-  for (const auto schedule : {BatchSchedule::InterProblem, BatchSchedule::IntraProblem}) {
+  for (const auto schedule : {BatchSchedule::InterProblem, BatchSchedule::IntraProblem,
+                              BatchSchedule::Mixed}) {
     EXPECT_THROW(svd_values_batched<double>(batch, batch_config(schedule), backend),
                  Error);
   }
+}
+
+TEST(BatchedSvd, IsolatePolicyKeepsHealthyProblemsValid) {
+  // The acceptance scenario: a batch with one NaN problem under Isolate
+  // returns valid, sequential-identical results for every other problem.
+  std::vector<Matrix<double>> problems;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    problems.push_back(testutil::random_matrix(24, 24, 400 + s));
+  }
+  problems[2](5, 7) = std::numeric_limits<double>::quiet_NaN();
+  const auto views = views_of(problems);
+  ka::CpuBackend backend(4);
+  for (const auto schedule : {BatchSchedule::Auto, BatchSchedule::InterProblem,
+                              BatchSchedule::IntraProblem, BatchSchedule::Mixed}) {
+    auto cfg = batch_config(schedule);
+    cfg.on_error = ErrorPolicy::Isolate;
+    const auto rep = svd_values_batched_report<double>(views, cfg, backend);
+    ASSERT_EQ(rep.reports.size(), 5u);
+    EXPECT_FALSE(rep.all_ok());
+    EXPECT_EQ(rep.failed_count(), 1u);
+    EXPECT_EQ(rep.reports[2].status, SvdStatus::NonFinite);
+    EXPECT_TRUE(rep.reports[2].values.empty());
+    EXPECT_NE(rep.reports[2].status_message.find("problem 2"), std::string::npos);
+    for (const std::size_t p : {0u, 1u, 3u, 4u}) {
+      EXPECT_EQ(rep.reports[p].status, SvdStatus::Ok);
+      const auto seq = svd_values_report<double>(problems[p].view(), cfg.svd, backend);
+      ASSERT_EQ(rep.reports[p].values.size(), seq.values.size());
+      for (std::size_t i = 0; i < seq.values.size(); ++i) {
+        EXPECT_DOUBLE_EQ(rep.reports[p].values[i], seq.values[i]) << "problem " << p;
+      }
+    }
+    // The values-only entry point mirrors the report: empty vector for the
+    // failed problem, full results elsewhere.
+    const auto values = svd_values_batched<double>(views, cfg, backend);
+    EXPECT_TRUE(values[2].empty());
+    EXPECT_EQ(values[0].size(), 24u);
+  }
+}
+
+TEST(BatchedSvd, IsolateClassifiesEmptyProblemAsInvalidInput) {
+  const auto good = testutil::random_matrix(12, 12, 77);
+  const Matrix<double> empty(0, 0);
+  const std::vector<ConstMatrixView<double>> batch{good.view(), empty.view()};
+  auto cfg = batch_config(BatchSchedule::IntraProblem);
+  cfg.on_error = ErrorPolicy::Isolate;
+  const auto rep = svd_values_batched_report<double>(batch, cfg);
+  EXPECT_EQ(rep.reports[0].status, SvdStatus::Ok);
+  EXPECT_EQ(rep.reports[1].status, SvdStatus::InvalidInput);
+  EXPECT_EQ(rep.failed_count(), 1u);
 }
 
 TEST(BatchedSvd, RejectsNonExecutingBackendAndBadConfig) {
@@ -224,6 +299,26 @@ TEST(BatchedSvd, ReportAggregatesStageTimesAndWallClock) {
   EXPECT_GT(rep.stage_times.total(), 0.0);
   EXPECT_GT(rep.seconds, 0.0);
   EXPECT_GE(rep.threads_used, 1u);
+}
+
+TEST(BatchedSvd, Fp16ValuesNarrowThroughCorrectlyRoundedPath) {
+  // Regression for the static_cast<T> per-element narrowing: FP16 output
+  // must equal the single-rounding half_from_double of the double report,
+  // bit for bit, not a double->float->half double-rounded chain.
+  const auto problems = make_ragged_problems<Half>(61);
+  const auto views = views_of(problems);
+  ka::CpuBackend backend(4);
+  const auto cfg = batch_config(BatchSchedule::Auto);
+  const auto rep = svd_values_batched_report<Half>(views, cfg, backend);
+  const auto values = svd_values_batched<Half>(views, cfg, backend);
+  ASSERT_EQ(values.size(), rep.reports.size());
+  for (std::size_t p = 0; p < values.size(); ++p) {
+    ASSERT_EQ(values[p].size(), rep.reports[p].values.size());
+    for (std::size_t i = 0; i < values[p].size(); ++i) {
+      EXPECT_EQ(values[p][i].bits(), half_from_double(rep.reports[p].values[i]).bits())
+          << "problem " << p << " sigma_" << i;
+    }
+  }
 }
 
 TEST(BatchedSvd, ValuesDescendingInStoragePrecision) {

@@ -86,6 +86,62 @@ TEST(Half, ConversionIsMonotone) {
   }
 }
 
+TEST(Half, DoubleConversionRoundsOnce) {
+  // d = 1 + 2^-11 + 2^-30 sits just above the half-way point between 1.0
+  // (0x3C00) and 1 + 2^-10 (0x3C01): a single correct rounding must go up.
+  // The double->float->half chain first collapses d onto the exact tie
+  // 1 + 2^-11 (float RNE), then ties-to-even down to 0x3C00 — the
+  // double-rounding bug half_from_double exists to avoid.
+  const double d = 1.0 + 0x1p-11 + 0x1p-30;
+  EXPECT_EQ(unisvd::half_from_double(d).bits(), 0x3C01);
+  EXPECT_EQ(Half(d).bits(), 0x3C01);                    // ctor routes correctly
+  EXPECT_EQ(static_cast<Half>(d).bits(), 0x3C01);       // so does static_cast
+  EXPECT_EQ(Half(static_cast<float>(d)).bits(), 0x3C00);  // the buggy chain
+  // Mirror case below a half-way point: 1 + 3*2^-11 - 2^-30 must round DOWN
+  // to 0x3C01; collapsing onto the tie 1 + 3*2^-11 first would tie-to-even
+  // up to 0x3C02.
+  const double d2 = 1.0 + 3 * 0x1p-11 - 0x1p-30;
+  EXPECT_EQ(unisvd::half_from_double(d2).bits(), 0x3C01);
+  EXPECT_EQ(Half(static_cast<float>(d2)).bits(), 0x3C02);
+  // Negative values follow the same path via the sign bit.
+  EXPECT_EQ(unisvd::half_from_double(-d).bits(), 0xBC01);
+}
+
+TEST(Half, DoubleConversionSpecialsAndBoundaries) {
+  EXPECT_EQ(Half(0.0).bits(), 0x0000);
+  EXPECT_EQ(Half(-0.0).bits(), 0x8000);
+  EXPECT_EQ(Half(1.0).bits(), 0x3C00);
+  EXPECT_EQ(Half(65504.0).bits(), 0x7BFF);
+  EXPECT_TRUE(unisvd::isinf(Half(65520.0)));      // rounds up to Inf (RNE)
+  EXPECT_EQ(Half(65519.9).bits(), 0x7BFF);
+  EXPECT_TRUE(unisvd::isinf(Half(1e300)));
+  EXPECT_TRUE(unisvd::isinf(Half(-1e300)));
+  EXPECT_TRUE(unisvd::isnan(Half(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_EQ(Half(0x1p-24).bits(), 0x0001);        // min subnormal exact
+  EXPECT_EQ(Half(0x1p-25).bits(), 0x0000);        // exact tie to even: 0
+  EXPECT_EQ(Half(0x1p-25 + 0x1p-60).bits(), 0x0001);  // just above: up
+  EXPECT_EQ(Half(1e-300).bits(), 0x0000);
+  EXPECT_EQ(Half(6.103515625e-05).bits(), 0x0400);  // min normal 2^-14
+}
+
+TEST(Half, DoubleConversionAgreesWithFloatOnExactFloats) {
+  // Whenever the input is exactly a float, the double path must agree with
+  // the float path (both are then a single rounding of the same value).
+  for (std::uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(b));
+    if (unisvd::isnan(h)) continue;
+    const float f = static_cast<float>(h);
+    EXPECT_EQ(Half(static_cast<double>(f)).bits(), Half(f).bits()) << "bits=" << b;
+    // And every finite half round-trips exactly through double.
+    EXPECT_EQ(Half(static_cast<double>(f)).bits(), h.bits()) << "bits=" << b;
+  }
+  // Denser sweep across float-exact values around the normal/subnormal
+  // boundary and the overflow edge.
+  for (float f : {1.5f, -2.75f, 1023.5f, 65503.0f, 6.1e-05f, 1.2e-07f, 3.1f}) {
+    EXPECT_EQ(Half(static_cast<double>(f)).bits(), Half(f).bits()) << f;
+  }
+}
+
 TEST(Half, ArithmeticRoundsToStorage) {
   // 1 + eps/2 == 1 in half arithmetic (storage rounding on the result).
   const Half one(1.0f);

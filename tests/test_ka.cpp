@@ -130,6 +130,175 @@ TEST(ThreadPool, ConcurrentTopLevelSubmissionsSerialize) {
   }
 }
 
+TEST(ThreadPool, WorkStealingRunsNestedIterationsOnIdleSlots) {
+  // A work-stealing job with fewer top-level items than pool slots: the
+  // workers that find the range empty must steal iterations of the nested
+  // parallel_for published by the busy slot. The nested iterations
+  // rendezvous, so the test deadlock-times-out (and fails the >= 2 distinct
+  // threads assertion) if stealing never happens.
+  ka::ThreadPool pool(4);
+  ka::ParallelForOptions opts;
+  opts.work_stealing = true;
+  std::mutex m;
+  std::condition_variable cv;
+  int entered = 0;
+  std::set<std::thread::id> nested_ids;
+  bool timed_out = false;
+  pool.parallel_for(
+      2,  // two slots busy, two pool threads left to steal
+      [&](index_t o) {
+        if (o != 0) return;
+        pool.parallel_for(2, [&](index_t) {
+          std::unique_lock lock(m);
+          nested_ids.insert(std::this_thread::get_id());
+          ++entered;
+          cv.notify_all();
+          if (!cv.wait_for(lock, std::chrono::seconds(20), [&] { return entered >= 2; })) {
+            timed_out = true;
+          }
+        });
+      },
+      opts);
+  EXPECT_FALSE(timed_out);
+  EXPECT_GE(nested_ids.size(), 2u);
+}
+
+TEST(ThreadPool, WorkStealingEveryIterationExactlyOnce) {
+  // Property: under the work-stealing schedule, every top-level and every
+  // nested index executes exactly once, whatever mix of long (nested) and
+  // short iterations the job carries.
+  ka::ThreadPool pool(4);
+  ka::ParallelForOptions opts;
+  opts.work_stealing = true;
+  for (int rep = 0; rep < 25; ++rep) {
+    constexpr index_t kOuter = 12;
+    constexpr index_t kInner = 64;
+    std::vector<std::atomic<int>> outer_hits(kOuter);
+    std::vector<std::atomic<int>> inner_hits(kOuter * kInner);
+    pool.parallel_for(
+        kOuter,
+        [&](index_t o) {
+          outer_hits[static_cast<std::size_t>(o)]++;
+          if (o < 3) {  // a few "large problems" publish nested ranges
+            pool.parallel_for(kInner, [&](index_t i) {
+              inner_hits[static_cast<std::size_t>(o * kInner + i)]++;
+            });
+          }
+        },
+        opts);
+    for (auto& h : outer_hits) ASSERT_EQ(h.load(), 1);
+    for (index_t o = 0; o < 3; ++o) {
+      for (index_t i = 0; i < kInner; ++i) {
+        ASSERT_EQ(inner_hits[static_cast<std::size_t>(o * kInner + i)].load(), 1)
+            << "outer " << o << " inner " << i;
+      }
+    }
+    for (index_t o = 3; o < kOuter; ++o) {
+      for (index_t i = 0; i < kInner; ++i) {
+        ASSERT_EQ(inner_hits[static_cast<std::size_t>(o * kInner + i)].load(), 0);
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, WorkStealingSoakManyProducers) {
+  // Soak: external producer threads hammer the pool with work-stealing jobs
+  // whose iterations publish nested ranges (producers serialize on the
+  // submit lock, stealers roam within each job). Every item must execute
+  // exactly once, with no deadlock.
+  ka::ThreadPool pool(4);
+  constexpr int kProducers = 4;
+  constexpr int kRounds = 15;
+  constexpr index_t kOuter = 8;
+  constexpr index_t kInner = 32;
+  std::atomic<long> total{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&] {
+      ka::ParallelForOptions opts;
+      opts.work_stealing = true;
+      for (int round = 0; round < kRounds; ++round) {
+        pool.parallel_for(
+            kOuter,
+            [&](index_t o) {
+              if (o % 2 == 0) {
+                pool.parallel_for(kInner, [&](index_t) { total++; });
+              } else {
+                total++;
+              }
+            },
+            opts);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  // Per job: 4 even outers x 32 nested + 4 odd outers.
+  EXPECT_EQ(total.load(), long(kProducers) * kRounds * (4 * kInner + 4));
+}
+
+TEST(ThreadPool, WorkStealingPropagatesNestedExceptions) {
+  ka::ThreadPool pool(4);
+  ka::ParallelForOptions opts;
+  opts.work_stealing = true;
+  EXPECT_THROW(pool.parallel_for(
+                   2,
+                   [&](index_t o) {
+                     pool.parallel_for(50, [&](index_t i) {
+                       if (o == 0 && i == 17) throw Error("nested boom");
+                     });
+                   },
+                   opts),
+               Error);
+  // Pool (and its nested-job registry) stays usable after the failure.
+  std::atomic<int> n{0};
+  pool.parallel_for(
+      3, [&](index_t) { pool.parallel_for(10, [&](index_t) { n++; }); }, opts);
+  EXPECT_EQ(n.load(), 30);
+}
+
+TEST(ThreadPool, ScopedInlineNestedSuppressesPublication) {
+  // Inside a work-stealing job, a slot holding the suppression scope must
+  // keep its nested iterations on its own thread (the Mixed schedule's
+  // small-problem contract), while unsuppressed slots still publish.
+  ka::ThreadPool pool(4);
+  ka::ParallelForOptions opts;
+  opts.work_stealing = true;
+  std::atomic<int> suppressed_off_thread{0};
+  std::atomic<long> suppressed_runs{0};
+  for (int rep = 0; rep < 10; ++rep) {
+    pool.parallel_for(
+        4,
+        [&](index_t o) {
+          if (o == 0) {
+            ka::ScopedInlineNested inline_nested;
+            const auto own = std::this_thread::get_id();
+            pool.parallel_for(64, [&](index_t) {
+              suppressed_runs++;
+              if (std::this_thread::get_id() != own) suppressed_off_thread++;
+            });
+          }
+        },
+        opts);
+  }
+  EXPECT_EQ(suppressed_off_thread.load(), 0);
+  EXPECT_EQ(suppressed_runs.load(), 10 * 64);
+}
+
+TEST(ThreadPool, NestedStaysInlineWithoutWorkStealing) {
+  // Plain jobs keep the historic contract: nested ranges never leave the
+  // owning thread (batch inter-problem scheduling depends on this).
+  ka::ThreadPool pool(4);
+  std::atomic<int> off_thread{0};
+  pool.parallel_for(4, [&](index_t) {
+    const auto own = std::this_thread::get_id();
+    pool.parallel_for(32, [&](index_t) {
+      if (std::this_thread::get_id() != own) off_thread++;
+    });
+  });
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
 TEST(ThreadPool, DistributesAcrossThreads) {
   // Rendezvous: the first iteration blocks until a second thread has
   // entered the job, proving at least two distinct threads execute it (the

@@ -1,7 +1,12 @@
 /// Autotuner tests: candidate generation, ranking, determinism of the
-/// probe, validation.
+/// probe, validation; TuningTable persistence (round-trip, fallback rules,
+/// graceful handling of missing/corrupt table files).
 
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "core/tuner.hpp"
 #include "ka/backend.hpp"
@@ -61,6 +66,133 @@ TEST(Tuner, BatchCrossoverProbesBothSchedules) {
   // The learned crossover is one of the probed sizes, or 0 if inter never won.
   EXPECT_TRUE(result.crossover_n == 0 || result.crossover_n == 8 ||
               result.crossover_n == 16);
+}
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+core::TuningTable sample_table() {
+  core::TuningTable table;
+  table.set_batch_crossover("cpu", Precision::FP32, 160);
+  table.set_batch_crossover("cpu", Precision::FP64, 96);
+  table.set_batch_crossover("serial", Precision::FP16, 0);
+  qr::KernelConfig cfg;
+  cfg.tilesize = 16;
+  cfg.colperblock = 8;
+  cfg.splitk = 2;
+  cfg.fused = false;
+  table.set_kernels("cpu", Precision::FP32, cfg);
+  return table;
+}
+
+}  // namespace
+
+TEST(TuningTable, RoundTripSaveLoadIdentical) {
+  const auto table = sample_table();
+  const std::string path = temp_path("unisvd_tuning_roundtrip.txt");
+  ASSERT_TRUE(table.save(path));
+
+  const auto loaded = core::TuningTable::load(path);
+  EXPECT_EQ(loaded.size(), table.size());
+  for (const Precision p : {Precision::FP16, Precision::FP32, Precision::FP64}) {
+    for (const char* backend : {"cpu", "serial", "gpu-sim"}) {
+      EXPECT_EQ(loaded.batch_crossover(backend, p), table.batch_crossover(backend, p))
+          << backend << " " << to_string(p);
+      EXPECT_EQ(loaded.kernels(backend, p).has_value(),
+                table.kernels(backend, p).has_value());
+    }
+  }
+  const auto cfg = loaded.kernels("cpu", Precision::FP32);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->tilesize, 16);
+  EXPECT_EQ(cfg->colperblock, 8);
+  EXPECT_EQ(cfg->splitk, 2);
+  EXPECT_FALSE(cfg->fused);
+}
+
+TEST(TuningTable, FallbackRulesExactThenNearPrecisionThenDefault) {
+  const auto table = sample_table();
+  // Exact hit.
+  EXPECT_EQ(table.batch_crossover_or("cpu", Precision::FP32, 999), 160);
+  // FP16 has no cpu entry: falls back to FP32 (shared compute path) first.
+  EXPECT_EQ(table.batch_crossover_or("cpu", Precision::FP16, 999), 160);
+  // Unknown backend: the caller's default wins — no cross-backend leakage.
+  EXPECT_EQ(table.batch_crossover_or("gpu-sim", Precision::FP32, 999), 999);
+  // Same rules for kernel configs.
+  EXPECT_EQ(table.kernels_or("cpu", Precision::FP16, qr::KernelConfig{}).tilesize, 16);
+  EXPECT_EQ(table.kernels_or("gpu-sim", Precision::FP32, qr::KernelConfig{}).tilesize,
+            qr::KernelConfig{}.tilesize);
+  // A crossover of 0 ("always intra") is a real entry, not a missing one.
+  EXPECT_EQ(table.batch_crossover_or("serial", Precision::FP16, 999), 0);
+}
+
+TEST(TuningTable, MissingFileLoadsEmptyAndFallsBack) {
+  const auto table =
+      core::TuningTable::load(temp_path("unisvd_tuning_does_not_exist.txt"));
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.batch_crossover_or("cpu", Precision::FP32, BatchConfig{}.crossover_n),
+            BatchConfig{}.crossover_n);
+}
+
+TEST(TuningTable, CorruptLinesAreSkippedGoodLinesSurvive) {
+  const std::string path = temp_path("unisvd_tuning_corrupt.txt");
+  {
+    std::ofstream os(path);
+    os << "# hand-edited table with assorted damage\n"
+       << "crossover cpu FP32 160\n"
+       << "crossover cpu FP64 not_a_number\n"      // bad value
+       << "crossover cpu BF16 64\n"               // unknown precision
+       << "crossover cpu\n"                       // truncated
+       << "kernels cpu FP32 7 5 3 1\n"            // fails KernelConfig::validate
+       << "kernels cpu FP64 16 8 2 1\n"
+       << "warp_schedule cpu FP32 whatever\n"     // unknown directive (future)
+       << "\x01\x02 binary garbage\n"
+       << "crossover serial FP32 32  # trailing comment\n";
+  }
+  const auto table = core::TuningTable::load(path);
+  EXPECT_EQ(table.batch_crossover("cpu", Precision::FP32), 160);
+  EXPECT_EQ(table.batch_crossover("serial", Precision::FP32), 32);
+  EXPECT_FALSE(table.batch_crossover("cpu", Precision::FP64).has_value());
+  EXPECT_FALSE(table.kernels("cpu", Precision::FP32).has_value());
+  ASSERT_TRUE(table.kernels("cpu", Precision::FP64).has_value());
+  EXPECT_EQ(table.kernels("cpu", Precision::FP64)->tilesize, 16);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(TuningTable, RejectsInvalidEntries) {
+  core::TuningTable table;
+  EXPECT_THROW(table.set_batch_crossover("cpu", Precision::FP32, -1), Error);
+  EXPECT_THROW(table.set_batch_crossover("my backend", Precision::FP32, 8), Error);
+  // '#' starts a comment in the text format: a name containing it would be
+  // silently truncated on load, so the setter refuses it up front.
+  EXPECT_THROW(table.set_batch_crossover("cpu#2", Precision::FP32, 8), Error);
+  qr::KernelConfig bad;
+  bad.tilesize = 3;
+  EXPECT_THROW(table.set_kernels("cpu", Precision::FP32, bad), Error);
+}
+
+TEST(TuningTable, LearnBatchCrossoverFeedsTableAndTunedConfig) {
+  ka::CpuBackend be(4);
+  SvdConfig cfg;
+  cfg.kernels.tilesize = 8;
+  cfg.kernels.colperblock = 8;
+  core::TuningTable table;
+  const index_t learned =
+      core::learn_batch_crossover<float>(table, be, {8, 16}, 2, 1, cfg);
+  ASSERT_TRUE(table.batch_crossover("cpu", Precision::FP32).has_value());
+  EXPECT_EQ(*table.batch_crossover("cpu", Precision::FP32), learned);
+
+  // The measured value becomes the BatchConfig default for this backend,
+  // replacing the hardcoded crossover.
+  const BatchConfig tuned = core::tuned_batch_config(table, be, Precision::FP32);
+  EXPECT_EQ(tuned.crossover_n, learned);
+  // Unrelated backends keep the static default.
+  ka::SerialBackend serial;
+  EXPECT_EQ(core::tuned_batch_config(table, serial, Precision::FP32).crossover_n,
+            BatchConfig{}.crossover_n);
 }
 
 TEST(Tuner, BatchCrossoverRejectsBadArgs) {

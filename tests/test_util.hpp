@@ -28,6 +28,15 @@ Matrix<T> convert(const Matrix<double>& a) {
   return unisvd::rnd::round_to<T>(a);
 }
 
+/// Non-owning views over a problem set (batched-API call sites).
+template <class T>
+std::vector<ConstMatrixView<T>> views_of(const std::vector<Matrix<T>>& problems) {
+  std::vector<ConstMatrixView<T>> views;
+  views.reserve(problems.size());
+  for (const auto& p : problems) views.push_back(p.view());
+  return views;
+}
+
 template <class T>
 Matrix<double> widen(const Matrix<T>& a) {
   return unisvd::ref::to_double(a.view());
