@@ -1,0 +1,35 @@
+#pragma once
+/// Shared helpers for the example programs (not part of the library API).
+
+#include "common/linalg_ref.hpp"
+#include "core/svd.hpp"
+
+namespace example_util {
+
+using unisvd::ConstMatrixView;
+using unisvd::Matrix;
+using unisvd::SvdReport;
+using unisvd::index_t;
+
+/// || X - U_k diag(s_k) Vt_k ||_F / || X ||_F: rank-k reconstruction
+/// residual of a thin SVD report, measured in double against the
+/// full-precision reference matrix. This is both PCA's rank-k model error
+/// and the LoRA adapter residual || W - A B || with A = U_k sqrt(S_k),
+/// B = sqrt(S_k) V_k^T.
+inline double rank_k_residual(const Matrix<double>& x, const SvdReport& rep,
+                              index_t k) {
+  Matrix<double> us(rep.u.rows(), k);
+  for (index_t j = 0; j < k; ++j) {
+    const double s = rep.values[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i < us.rows(); ++i) us(i, j) = rep.u(i, j) * s;
+  }
+  // First k rows of vt as a view (column-major: same data, shorter column).
+  const ConstMatrixView<double> vt_k(rep.vt.data(), k, rep.vt.cols(), rep.vt.rows());
+  const Matrix<double> recon =
+      unisvd::ref::matmul(ConstMatrixView<double>(us.view()), vt_k);
+  const double denom = unisvd::ref::fro_norm(x.view());
+  const double diff = unisvd::ref::fro_diff(x.view(), recon.view());
+  return denom == 0.0 ? diff : diff / denom;
+}
+
+}  // namespace example_util

@@ -4,16 +4,20 @@
 /// of the spectral energy, increasingly in reduced precision.
 ///
 /// This example builds a synthetic "attention projection" weight matrix
-/// with a realistic heavy-tailed spectrum plus noise, computes its singular
-/// values with the unified solver in FP32 and FP16, and reports the rank
-/// needed to retain 90% / 95% / 99% of the energy in each precision —
-/// demonstrating that FP16 storage is sufficient for rank selection.
+/// with a realistic heavy-tailed spectrum plus noise, computes its full SVD
+/// (U, Sigma, V^T) with the unified solver in FP32 and FP16, selects the
+/// rank retaining 90% / 95% / 99% of the energy, and materializes the REAL
+/// LoRA adapter factors A = U_r sqrt(S_r), B = sqrt(S_r) V_r^T — verifying
+/// the achieved reconstruction error || W - A B ||_F / || W ||_F matches
+/// the energy target in both precisions.
 
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
+#include "common/linalg_ref.hpp"
 #include "core/svd.hpp"
+#include "example_util.hpp"
 #include "rand/matrix_gen.hpp"
 
 using namespace unisvd;
@@ -52,30 +56,38 @@ int main(int argc, char** argv) {
   const auto report = [&](auto tag, const char* name) {
     using T = decltype(tag);
     const Matrix<T> w = rnd::round_to<T>(w64);
-    const auto rep = svd_values_report<T>(w.view());
-    std::printf("\n%s storage (%.1f ms, %zu values)\n", name,
-                1e3 * rep.stage_times.total(), rep.values.size());
+    SvdConfig cfg;
+    cfg.job = SvdJob::Thin;  // adapters need the real factors
+    const auto rep = svd_report<T>(w.view(), cfg);
+    std::printf("\n%s storage (%.1f ms total, %.1f ms vector accumulation)\n", name,
+                1e3 * rep.stage_times.total(),
+                1e3 * rep.stage_times.get(ka::Stage::VectorAccumulation));
+    std::printf("  %-18s %6s %22s\n", "energy target", "rank", "adapter ||W-AB||/||W||");
     for (double frac : {0.90, 0.95, 0.99}) {
-      std::printf("  rank retaining %2.0f%% energy: %lld\n", 100.0 * frac,
-                  static_cast<long long>(rank_for_energy(rep.values, frac)));
+      const index_t r = rank_for_energy(rep.values, frac);
+      std::printf("  retain %2.0f%%        %6lld %21.4f\n", 100.0 * frac,
+                  static_cast<long long>(r),
+                  example_util::rank_k_residual(w64, rep, r));
     }
-    return rep.values;
+    return rep;
   };
 
-  const auto sv32 = report(float{}, "FP32");
-  const auto sv16 = report(Half{}, "FP16");
+  const auto rep32 = report(float{}, "FP32");
+  const auto rep16 = report(Half{}, "FP16");
 
   // Agreement of the selected ranks across precisions.
   std::printf("\nFP16 vs FP32 rank agreement:\n");
   for (double frac : {0.90, 0.95, 0.99}) {
-    const auto r32 = rank_for_energy(sv32, frac);
-    const auto r16 = rank_for_energy(sv16, frac);
+    const auto r32 = rank_for_energy(rep32.values, frac);
+    const auto r16 = rank_for_energy(rep16.values, frac);
     std::printf("  %2.0f%%: FP32 -> %-5lld FP16 -> %-5lld (delta %+lld)\n",
                 100.0 * frac, static_cast<long long>(r32),
                 static_cast<long long>(r16), static_cast<long long>(r16 - r32));
   }
   std::printf(
-      "\nTakeaway (paper §1): half-precision singular spectra are accurate\n"
-      "enough to drive LoRA rank choices at half the memory cost.\n");
+      "\nTakeaway (paper §1): half-precision singular spectra — and now the\n"
+      "adapter factors themselves — are accurate enough to drive LoRA rank\n"
+      "choices at half the memory cost; the achieved ||W - AB|| tracks the\n"
+      "energy target, sqrt(1 - frac), in both precisions.\n");
   return 0;
 }

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (the CI docs job).
+
+Fails (exit 1) when:
+  * an intra-repo markdown link ([text](path), path not a URL/mailto) in any
+    tracked *.md file points at a file or directory that does not exist;
+  * a source file referenced by path in README.md or docs/*.md
+    (e.g. `bench/fig3_library_ratio.cpp`, `examples/quickstart.cpp`,
+    `src/core/svd.cpp`, `tests/test_svd_vectors.cpp`) does not exist;
+  * a bench binary referenced as `bench_<name>` in README.md or docs/*.md
+    has no matching bench/<name>.cpp.
+
+Anchors (#fragment) are stripped from links; http(s)/mailto links are
+ignored. Run from anywhere: paths resolve against the repository root
+(parent of this script's directory).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Markdown files that make promises worth checking.
+DOC_FILES = sorted(
+    p
+    for p in list(ROOT.glob("*.md")) + list((ROOT / "docs").glob("*.md"))
+    if p.is_file()
+)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SOURCE_REF_RE = re.compile(
+    r"\b((?:src|bench|examples|tests|scripts)/[A-Za-z0-9_./-]+\.(?:cpp|hpp|h|py))\b"
+)
+# Bare source-file mentions (`quickstart.cpp`) and built binaries
+# (`./build/quickstart`) — resolved against the source trees below.
+BARE_SOURCE_RE = re.compile(r"`([A-Za-z0-9_]+\.(?:cpp|hpp|h|py))`")
+BUILD_BIN_RE = re.compile(r"\./build/([A-Za-z0-9_]+)")
+BENCH_BIN_RE = re.compile(r"\bbench_([a-z0-9_]+)\b")
+SOURCE_DIRS = ("src", "bench", "examples", "tests", "scripts")
+
+# Bench binary names that are not 1:1 with a bench/*.cpp source.
+BENCH_BIN_ALLOW = set()
+
+
+def fail(errors: list[str]) -> None:
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    print(f"check_docs: {len(errors)} problem(s) found", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    errors = []
+    if not DOC_FILES:
+        fail(["no markdown files found — wrong root?"])
+
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        rel = doc.relative_to(ROOT)
+
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}: broken link -> {target}")
+
+        # Only the user-facing docs promise runnable artifacts.
+        if rel.name == "README.md" or rel.parts[0] == "docs":
+            for match in SOURCE_REF_RE.finditer(text):
+                path = ROOT / match.group(1)
+                if not path.exists():
+                    errors.append(f"{rel}: referenced source missing -> {match.group(1)}")
+            for match in BARE_SOURCE_RE.finditer(text):
+                name = match.group(1)
+                found = any(
+                    True for d in SOURCE_DIRS for _ in (ROOT / d).glob(f"**/{name}")
+                )
+                if not found:
+                    errors.append(f"{rel}: referenced source missing -> {name}")
+            for match in BUILD_BIN_RE.finditer(text):
+                name = match.group(1)
+                src = name.removeprefix("bench_")
+                candidates = [f"examples/{name}.cpp", f"bench/{src}.cpp"]
+                if not any((ROOT / c).exists() for c in candidates):
+                    errors.append(
+                        f"{rel}: ./build/{name} has no matching example/bench source"
+                    )
+            for match in BENCH_BIN_RE.finditer(text):
+                name = match.group(1)
+                if name in BENCH_BIN_ALLOW:
+                    continue
+                if not (ROOT / "bench" / f"{name}.cpp").exists():
+                    errors.append(
+                        f"{rel}: bench binary bench_{name} has no bench/{name}.cpp"
+                    )
+
+    if errors:
+        fail(sorted(set(errors)))
+    print(f"check_docs: OK ({len(DOC_FILES)} markdown files checked)")
+
+
+if __name__ == "__main__":
+    main()

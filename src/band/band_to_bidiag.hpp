@@ -18,6 +18,7 @@
 
 #include "band/band_matrix.hpp"
 #include "common/error.hpp"
+#include "common/givens_rows.hpp"
 
 namespace unisvd::band {
 
@@ -44,8 +45,20 @@ struct ChaseStats {
 
 /// Reduce `b` (upper band, bandwidth bw) to upper bidiagonal; returns the
 /// diagonal d and superdiagonal e (compute precision).
+///
+/// Optional singular-vector accumulation: when `ut` / `vt` are non-null,
+/// every left (row) rotation G applied to band rows (r1, r2) is mirrored as
+/// Ut <- G * Ut and every right (column) rotation as Vt <- G^T * Vt — both
+/// are exactly the apply_givens_rows pair rotation on rows of the
+/// transposed accumulator (matching the Stage-1 convention), preserving the
+/// invariant A = ut^T * B * vt across the chase. The band arithmetic is identical
+/// with or without accumulators, so d/e — and the singular values — stay
+/// bit-identical. Identity rotations (c == 1, s == 0), which the padding
+/// region produces in bulk, skip the accumulator update (an exact no-op).
 template <class CT>
-ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>& e) {
+ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>& e,
+                          MatrixView<CT>* ut = nullptr,
+                          MatrixView<CT>* vt = nullptr) {
   const index_t n = b.n();
   const index_t bw = b.bandwidth();
   ChaseStats stats;
@@ -59,6 +72,9 @@ ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>
       u = nu;
       v = nv;
     }
+    if (vt != nullptr && !(c == CT(1) && s == CT(0))) {
+      apply_givens_rows(*vt, c1, c2, c, s);
+    }
     stats.rotations += 1.0;
     stats.rotated_elems += static_cast<double>(ihi - ilo + 1);
   };
@@ -70,6 +86,9 @@ ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>
       const CT nv = -s * u + c * v;
       u = nu;
       v = nv;
+    }
+    if (ut != nullptr && !(c == CT(1) && s == CT(0))) {
+      apply_givens_rows(*ut, r1, r2, c, s);
     }
     stats.rotations += 1.0;
     stats.rotated_elems += static_cast<double>(jhi - jlo + 1);

@@ -1,0 +1,31 @@
+#pragma once
+/// \file givens_rows.hpp
+/// Shared Givens plane-rotation application for the transposed factor
+/// accumulators (Ut / Vt, rows = singular vectors). Stage 2 mirrors its
+/// bulge-chase rotations and Stage 3 its QR-iteration rotations through
+/// this ONE helper, so the accumulator arithmetic cannot drift between
+/// stages.
+
+#include "common/matrix.hpp"
+
+namespace unisvd {
+
+/// Apply the rotation pair (c, s) to full rows (r1, r2) of `m`:
+/// row r1 <- c*r1 + s*r2, row r2 <- -s*r1 + c*r2. The rotation scalars may
+/// arrive in a wider type than the accumulator storage (the Stage-3
+/// double-precision stagnation rescue); they are narrowed once up front.
+template <class AT, class S>
+void apply_givens_rows(MatrixView<AT> m, index_t r1, index_t r2, S c, S s) {
+  const AT cc = static_cast<AT>(c);
+  const AT ss = static_cast<AT>(s);
+  for (index_t j = 0; j < m.cols(); ++j) {
+    AT& u = m.at(r1, j);
+    AT& v = m.at(r2, j);
+    const AT nu = cc * u + ss * v;
+    const AT nv = -ss * u + cc * v;
+    u = nu;
+    v = nv;
+  }
+}
+
+}  // namespace unisvd

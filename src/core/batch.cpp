@@ -21,6 +21,26 @@ namespace {
 
 [[nodiscard]] index_t extent(const auto& a) { return std::max(a.rows(), a.cols()); }
 
+/// The Auto ragged-batch heuristic (documented on BatchSchedule::Auto and
+/// BatchConfig::crossover_n): promote Auto to the Mixed work-stealing
+/// schedule when the batch mixes regimes — at least one problem above the
+/// crossover (something to steal workgroups from) and at least
+/// min_inter_problems at or below it (a queue worth draining
+/// inter-problem). Requires a usable pool; results are schedule-invariant,
+/// so the promotion only changes the mapping onto threads.
+template <class T>
+[[nodiscard]] bool auto_prefers_mixed(std::span<const ConstMatrixView<T>> batch,
+                                      const BatchConfig& config,
+                                      ka::Backend& backend) {
+  if (!pool_usable(backend)) return false;
+  std::size_t small = 0;
+  std::size_t large = 0;
+  for (const auto& a : batch) {
+    (extent(a) <= config.crossover_n ? small : large) += 1;
+  }
+  return large >= 1 && small >= config.min_inter_problems;
+}
+
 /// Resolve Auto/Mixed per problem; demote pool-based schedules when the
 /// backend cannot spread problems (no pool, or a pool of width 1).
 template <class T>
@@ -98,11 +118,18 @@ void solve_problem(std::span<const ConstMatrixView<T>> batch, std::size_t p,
 
 template <class T>
 BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
-                                      const BatchConfig& config,
+                                      const BatchConfig& original_config,
                                       ka::Backend& backend) {
-  config.validate();
+  original_config.validate();
   UNISVD_REQUIRE(backend.executes(),
                  "svd_values_batched: backend does not execute kernels");
+
+  // Auto on a ragged batch runs as Mixed (see auto_prefers_mixed).
+  BatchConfig config = original_config;
+  if (config.schedule == BatchSchedule::Auto &&
+      auto_prefers_mixed(batch, config, backend)) {
+    config.schedule = BatchSchedule::Mixed;
+  }
 
   BatchReport rep;
   rep.reports.resize(batch.size());

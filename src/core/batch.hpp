@@ -22,7 +22,9 @@
 ///
 /// BatchSchedule::Auto picks inter/intra per problem by a size crossover
 /// (BatchConfig::crossover_n), which core/tuner.hpp can learn empirically
-/// (tune_batch_crossover) and persist in a core::TuningTable. Batches may
+/// (tune_batch_crossover) and persist in a core::TuningTable; on a ragged
+/// batch (large problems above the crossover plus a small-problem queue)
+/// Auto promotes the whole batch to the Mixed schedule. Batches may
 /// be uniform or ragged: any mix of sizes, shapes (rectangular supported) —
 /// precision is fixed per call by the element type. Results are identical
 /// to looping svd_values one matrix at a time, whichever schedule runs. One
@@ -50,7 +52,14 @@ namespace unisvd {
 
 /// How the problems of a batch map onto execution resources.
 enum class BatchSchedule {
-  Auto,          ///< per problem: InterProblem below the crossover, else Intra
+  Auto,          ///< per problem: InterProblem below the crossover, else
+                 ///< Intra — unless the batch is *ragged* (see BatchConfig:
+                 ///< at least one problem above the crossover AND at least
+                 ///< min_inter_problems at or below it), in which case Auto
+                 ///< runs the whole batch under the Mixed work-stealing
+                 ///< schedule: exactly the regime Mixed was built for, where
+                 ///< a large tail would otherwise serialize behind the
+                 ///< inter-problem pass
   InterProblem,  ///< one problem per pool slot, serial inside each problem
   IntraProblem,  ///< problems sequential, kernels parallel inside each
   Mixed          ///< work-stealing: slot-resident problems, idle slots help
@@ -98,9 +107,20 @@ struct BatchConfig {
   /// tune_batch_crossover (core/tuner.hpp) learns the value for a given
   /// backend and precision, and core::TuningTable persists it
   /// (core::tuned_batch_config builds a config from the table).
+  ///
+  /// Ragged-batch heuristic (BatchSchedule::Auto): a batch is considered
+  /// ragged when it contains at least one problem ABOVE this crossover and
+  /// at least `min_inter_problems` problems at or below it. That is
+  /// precisely the shape where the classic Auto split (inter pass, then
+  /// sequential intra tail) leaves the pool idle while the large problems
+  /// serialize — so Auto promotes the whole batch to the Mixed
+  /// work-stealing schedule instead (results are identical; only the
+  /// mapping onto threads changes). Homogeneous batches (all small or all
+  /// large) keep the classic per-problem resolution.
   index_t crossover_n = 192;
   /// Auto runs the inter-problem pass only when at least this many problems
-  /// qualify (a lone small problem gains nothing from the pool).
+  /// qualify (a lone small problem gains nothing from the pool). Also the
+  /// minimum small-problem count for the ragged-batch promotion above.
   std::size_t min_inter_problems = 2;
 
   void validate() const {
@@ -175,6 +195,37 @@ std::vector<std::vector<T>> svd_values_batched(
     for (std::size_t i = 0; i < values.size(); ++i) {
       out[p][i] = narrow_from_double<T>(values[i]);
     }
+  }
+  return out;
+}
+
+/// Batched full SVD with diagnostics: svd_values_batched_report with the
+/// per-problem job upgraded to Thin when left at ValuesOnly. Every schedule
+/// (Auto/Inter/Intra/Mixed) and both error policies work exactly as for the
+/// values-only batched solver — vector accumulation rides the same
+/// per-problem pipeline, launch path and fault isolation. Per-problem
+/// reports carry u / vt (empty on isolated failures).
+template <class T>
+BatchReport svd_batched_report(std::span<const ConstMatrixView<T>> batch,
+                               BatchConfig config = {},
+                               ka::Backend& backend = ka::default_backend()) {
+  if (config.svd.job == SvdJob::ValuesOnly) config.svd.job = SvdJob::Thin;
+  return svd_values_batched_report<T>(batch, config, backend);
+}
+
+/// Batched full SVD in storage precision: one Svd (u, values, vt) per
+/// problem, in input order — the batched counterpart of unisvd::svd. Under
+/// ErrorPolicy::Isolate a failed problem yields an Svd with empty values
+/// and factors (inspect svd_batched_report for its status).
+template <class T>
+std::vector<Svd<T>> svd_batched(std::span<const ConstMatrixView<T>> batch,
+                                const BatchConfig& config = {},
+                                ka::Backend& backend = ka::default_backend()) {
+  const BatchReport rep = svd_batched_report<T>(batch, config, backend);
+  std::vector<Svd<T>> out;
+  out.reserve(rep.reports.size());
+  for (const auto& r : rep.reports) {
+    out.push_back(detail::narrow_svd<T>(r));
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <vector>
 
 #include "band/band_matrix.hpp"
 #include "bidiag/bidiag_qr.hpp"
@@ -46,6 +47,48 @@ void copy_scaled(ConstMatrixView<T> src, Matrix<T>& dst, double scale) {
   }
 }
 
+/// Identity-seed a square compute-precision accumulator.
+template <class CT>
+Matrix<CT> identity(index_t n) {
+  Matrix<CT> out(n, n, CT(0));
+  for (index_t i = 0; i < n; ++i) out(i, i) = CT(1);
+  return out;
+}
+
+/// Pick `count` rows of `acc` (in order) whose mass lies in the real
+/// coordinate range [0, real) — i.e. rows that are singular vectors of the
+/// embedded problem rather than of the zero padding. Padding never mixes
+/// with data through the pipeline (zero columns yield zero reflector tails
+/// and identity Givens rotations), so every row's real-coordinate mass is
+/// ~1 or ~0 and a 1/2 threshold separates them cleanly. Rows are taken in
+/// order: the sigma-sorted rows first, then (Full job on padded/tall
+/// inputs) the orthonormal-completion leftovers.
+template <class CT>
+std::vector<index_t> select_real_rows(const Matrix<CT>& acc, index_t real,
+                                      index_t count) {
+  std::vector<index_t> rows;
+  rows.reserve(static_cast<std::size_t>(count));
+  for (index_t r = 0; r < acc.rows() && static_cast<index_t>(rows.size()) < count;
+       ++r) {
+    double mass = 0.0;
+    double total = 0.0;
+    for (index_t c = 0; c < acc.cols(); ++c) {
+      const double v = static_cast<double>(acc(r, c));
+      total += v * v;
+      if (c < real) mass += v * v;
+    }
+    if (total == 0.0 || mass >= 0.5 * total) rows.push_back(r);
+  }
+  // Defensive completion: never return fewer than `count` rows (cannot
+  // happen when the block structure holds, but a short list would crash
+  // the extraction below).
+  for (index_t r = 0; static_cast<index_t>(rows.size()) < count && r < acc.rows();
+       ++r) {
+    if (std::find(rows.begin(), rows.end(), r) == rows.end()) rows.push_back(r);
+  }
+  return rows;
+}
+
 }  // namespace
 
 template <class T>
@@ -58,10 +101,13 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
   if (config.check_finite) {
     UNISVD_REQUIRE(ref::all_finite(a), "svd_values: input contains NaN or Inf");
   }
+  const bool want_vectors = config.job != SvdJob::ValuesOnly;
 
   // Operate on the tall orientation: sigma(A) == sigma(A^T), and the lazy
-  // transpose makes the wide case free.
-  const ConstMatrixView<T> at = a.rows() >= a.cols() ? a : a.transposed();
+  // transpose makes the wide case free. For vectors the factors swap back
+  // at extraction time (A = U S V^T  <=>  A^T = V S U^T).
+  const bool wide = a.rows() < a.cols();
+  const ConstMatrixView<T> at = wide ? a.transposed() : a;
   const index_t m = at.rows();
   const index_t n = at.cols();
 
@@ -75,24 +121,47 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
 
   const int ts = config.kernels.tilesize;
   const auto col_layout = tile::TileLayout::make(n, ts);
-  rep.padded_n = col_layout.n;
+  const index_t npad = col_layout.n;
+  rep.padded_n = npad;
+  const index_t mpad = m == n ? npad : tile::TileLayout::make(m, ts).n;
+
+  // Transposed factor accumulators in compute precision (U = ut^T), seeded
+  // with the identity. Stage 1 applies its tile reflectors to them through
+  // the same launch path as the trailing updates, Stage 2 mirrors its
+  // Givens rotations, Stage 3 accumulates the QR-iteration rotations and
+  // sorts rows with the values.
+  Matrix<CT> ut_acc;
+  Matrix<CT> vt_acc;
+  MatrixView<CT> ut_view;
+  MatrixView<CT> vt_view;
+  MatrixView<CT>* ut_ptr = nullptr;
+  MatrixView<CT>* vt_ptr = nullptr;
+  if (want_vectors) {
+    ut_acc = identity<CT>(mpad);
+    vt_acc = identity<CT>(npad);
+    ut_view = ut_acc.view();
+    vt_view = vt_acc.view();
+    ut_ptr = &ut_view;
+    vt_ptr = &vt_view;
+  }
 
   // Square working matrix for the two-stage reduction. Zero padding to the
   // tile grid adds exactly (padded - n) zero singular values, dropped after
   // the descending sort.
-  Matrix<T> square(col_layout.n, col_layout.n, T(0));
+  Matrix<T> square(npad, npad, T(0));
 
   if (m == n) {
     copy_scaled(at, square, rep.scale_factor);
   } else {
-    // Tall input: tiled QR first (same kernels), then reduce R.
+    // Tall input: tiled QR first (same kernels), then reduce R. The left
+    // accumulator spans the full m_pad space so Q_tall^T lands in it.
     const auto row_layout = tile::TileLayout::make(m, ts);
-    Matrix<T> work(row_layout.n, col_layout.n, T(0));
+    Matrix<T> work(row_layout.n, npad, T(0));
     copy_scaled(at, work, rep.scale_factor);
     Matrix<T> qr_tau(row_layout.ntiles, ts, T(0));
     qr::tall_qr<T>(backend, work.view(), qr_tau.view(), config.kernels,
-                   &rep.stage_times);
-    for (index_t j = 0; j < col_layout.n; ++j) {  // R = upper triangle
+                   &rep.stage_times, ut_ptr);
+    for (index_t j = 0; j < npad; ++j) {  // R = upper triangle
       for (index_t i = 0; i <= j; ++i) {
         square(i, j) = work(i, j);
       }
@@ -102,26 +171,87 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
   // Stage 1: dense -> band (tiled QR/LQ sweeps on the backend).
   Matrix<T> tau(col_layout.ntiles, ts, T(0));
   qr::band_reduction<T>(backend, square.view(), tau.view(), config.kernels,
-                        &rep.stage_times);
+                        &rep.stage_times, ut_ptr, vt_ptr);
 
   // Stage 2: band -> bidiagonal (Givens bulge chasing, compute precision).
   auto t0 = std::chrono::steady_clock::now();
   auto bandm = band::extract_band<T>(square.view(), ts);
   std::vector<CT> d;
   std::vector<CT> e;
-  rep.chase_stats = band::band_to_bidiag(bandm, d, e);
+  rep.chase_stats = band::band_to_bidiag(bandm, d, e, ut_ptr, vt_ptr);
   rep.stage_times.add(ka::Stage::BandToBidiagonal, seconds_since(t0));
 
   // Stage 3: bidiagonal -> singular values (implicit-shift QR iteration,
-  // Sturm-bisection fallback on stagnating blocks).
+  // Sturm-bisection fallback on stagnating blocks). The vector variant
+  // executes identical d/e arithmetic — values are bit-identical either way.
   t0 = std::chrono::steady_clock::now();
-  const std::vector<CT> sv = bidiag::bidiag_svd_qr(std::move(d), std::move(e));
+  const std::vector<CT> sv =
+      want_vectors
+          ? bidiag::bidiag_svd_qr_vectors(std::move(d), std::move(e), ut_view,
+                                          vt_view)
+          : bidiag::bidiag_svd_qr(std::move(d), std::move(e));
   rep.stage_times.add(ka::Stage::BidiagonalToDiagonal, seconds_since(t0));
 
   rep.values.assign(sv.begin(), sv.end());           // already descending
   rep.values.resize(static_cast<std::size_t>(n));    // drop padding zeros
   if (rep.scale_factor != 1.0) {
     for (auto& v : rep.values) v *= rep.scale_factor;
+  }
+
+  if (want_vectors) {
+    // Compose and unpad the factors. In the tall orientation
+    // A = ut^T * diag(sigma) * vt over the padded space; the thin factors
+    // are the first k = n sigma-sorted rows, the Full completions are the
+    // remaining rows that live in the real (unpadded) coordinate range.
+    // A wide input swaps the roles (A = a^T's V becomes a's U and vice
+    // versa).
+    t0 = std::chrono::steady_clock::now();
+    const index_t k = n;  // min(m, n) in the tall orientation
+    std::vector<index_t> usel;
+    std::vector<index_t> vsel;
+    if (config.job == SvdJob::Full) {
+      usel = select_real_rows(ut_acc, m, m);
+      vsel = select_real_rows(vt_acc, n, n);
+    } else {
+      usel.resize(static_cast<std::size_t>(k));
+      vsel.resize(static_cast<std::size_t>(k));
+      for (index_t i = 0; i < k; ++i) {
+        usel[static_cast<std::size_t>(i)] = i;
+        vsel[static_cast<std::size_t>(i)] = i;
+      }
+    }
+    if (!wide) {
+      rep.u = Matrix<double>(m, static_cast<index_t>(usel.size()));
+      for (index_t j = 0; j < rep.u.cols(); ++j) {
+        const index_t src = usel[static_cast<std::size_t>(j)];
+        for (index_t i = 0; i < m; ++i) {
+          rep.u(i, j) = static_cast<double>(ut_acc(src, i));
+        }
+      }
+      rep.vt = Matrix<double>(static_cast<index_t>(vsel.size()), n);
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < rep.vt.rows(); ++i) {
+          rep.vt(i, j) =
+              static_cast<double>(vt_acc(vsel[static_cast<std::size_t>(i)], j));
+        }
+      }
+    } else {
+      rep.u = Matrix<double>(n, static_cast<index_t>(vsel.size()));
+      for (index_t j = 0; j < rep.u.cols(); ++j) {
+        const index_t src = vsel[static_cast<std::size_t>(j)];
+        for (index_t i = 0; i < n; ++i) {
+          rep.u(i, j) = static_cast<double>(vt_acc(src, i));
+        }
+      }
+      rep.vt = Matrix<double>(static_cast<index_t>(usel.size()), m);
+      for (index_t j = 0; j < m; ++j) {
+        for (index_t i = 0; i < rep.vt.rows(); ++i) {
+          rep.vt(i, j) =
+              static_cast<double>(ut_acc(usel[static_cast<std::size_t>(i)], j));
+        }
+      }
+    }
+    rep.stage_times.add(ka::Stage::VectorAccumulation, seconds_since(t0));
   }
   return rep;
 }

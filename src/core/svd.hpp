@@ -26,6 +26,30 @@
 
 namespace unisvd {
 
+/// What the solver produces besides the singular values.
+enum class SvdJob {
+  ValuesOnly,  ///< singular values only — the fast path, bit-identical to
+               ///< the historic svd_values behaviour (no accumulators are
+               ///< allocated, no accumulation kernels launch)
+  Thin,        ///< U is m x min(m, n), Vt is min(m, n) x n — the economy
+               ///< factorization that PCA / low-rank use. NOTE: the left
+               ///< accumulator is currently max(m,n)_pad^2 internally even
+               ///< for Thin, so very tall/wide inputs pay O(max(m,n)^2)
+               ///< memory during the solve (a thin-panel formulation is a
+               ///< ROADMAP open item)
+  Full         ///< U is m x m, Vt is n x n (orthonormal completions of the
+               ///< thin factors; O(m^2) memory for tall inputs)
+};
+
+[[nodiscard]] constexpr const char* to_string(SvdJob j) noexcept {
+  switch (j) {
+    case SvdJob::ValuesOnly: return "values-only";
+    case SvdJob::Thin: return "thin";
+    case SvdJob::Full: return "full";
+  }
+  return "?";
+}
+
 /// Options of the unified solver.
 struct SvdConfig {
   /// Phase-1 kernel hyperparameters (paper §3.3). Defaults suit the CPU
@@ -40,7 +64,15 @@ struct SvdConfig {
   /// "default rescaling for matrices with singular values outside the
   /// target precision range" — essential for FP16, whose storage saturates
   /// at 65504. Off by default to match the paper's baseline behaviour.
+  /// Singular vectors are scale-invariant, so SvdJob::Thin/Full factors are
+  /// unaffected.
   bool auto_scale = false;
+  /// Whether to accumulate singular vectors (see SvdJob). ValuesOnly keeps
+  /// the historic fast path byte-for-byte; Thin/Full thread transform
+  /// accumulation through all three pipeline stages (compute-precision
+  /// accumulators, Stage::VectorAccumulation timing) and fill
+  /// SvdReport::u / SvdReport::vt. Values are bit-identical across jobs.
+  SvdJob job = SvdJob::ValuesOnly;
 
   void validate() const { kernels.validate(); }
 };
@@ -70,6 +102,13 @@ enum class SvdStatus {
 /// Result with diagnostics (per-stage wall clock feeds Figure 6).
 struct SvdReport {
   std::vector<double> values;   ///< singular values, descending, min(m,n)
+  /// Left singular vectors (SvdJob::Thin: m x min(m,n); Full: m x m; empty
+  /// for ValuesOnly). Held in double like `values`; the accumulation itself
+  /// ran in the compute precision of the storage type (FP32 for FP16).
+  Matrix<double> u;
+  /// Right singular vectors, transposed (Thin: min(m,n) x n; Full: n x n;
+  /// empty for ValuesOnly). A = u * diag(values) * vt in exact arithmetic.
+  Matrix<double> vt;
   ka::StageTimes stage_times;   ///< wall clock per pipeline stage
   band::ChaseStats chase_stats; ///< Stage-2 rotation counts
   index_t padded_n = 0;         ///< square working extent after padding
@@ -98,6 +137,64 @@ std::vector<T> svd_values(ConstMatrixView<T> a, const SvdConfig& config = {},
     out[i] = narrow_from_double<T>(rep.values[i]);
   }
   return out;
+}
+
+/// Full factorization in storage precision: A ~= u * diag(values) * vt.
+template <class T>
+struct Svd {
+  Matrix<T> u;            ///< left singular vectors (m x k, or m x m Full)
+  std::vector<T> values;  ///< singular values, descending, k = min(m, n)
+  Matrix<T> vt;           ///< right singular vectors, transposed (k x n / n x n)
+};
+
+namespace detail {
+
+/// Narrow a vector-carrying report into storage precision (empty factors
+/// pass through empty — the batched Isolate failure shape).
+template <class T>
+Svd<T> narrow_svd(const SvdReport& rep) {
+  Svd<T> out;
+  out.values.resize(rep.values.size());
+  for (std::size_t i = 0; i < out.values.size(); ++i) {
+    out.values[i] = narrow_from_double<T>(rep.values[i]);
+  }
+  out.u = Matrix<T>(rep.u.rows(), rep.u.cols());
+  for (index_t j = 0; j < rep.u.cols(); ++j) {
+    for (index_t i = 0; i < rep.u.rows(); ++i) {
+      out.u(i, j) = narrow_from_double<T>(rep.u(i, j));
+    }
+  }
+  out.vt = Matrix<T>(rep.vt.rows(), rep.vt.cols());
+  for (index_t j = 0; j < rep.vt.cols(); ++j) {
+    for (index_t i = 0; i < rep.vt.rows(); ++i) {
+      out.vt(i, j) = narrow_from_double<T>(rep.vt(i, j));
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Singular vectors with full diagnostics: svd_values_report with the job
+/// upgraded to Thin when the caller left it at ValuesOnly (asking for a
+/// vector report implies wanting vectors). Use the report's double-held
+/// u/vt to measure the compute-path accuracy (FP16 accumulates in FP32).
+template <class T>
+SvdReport svd_report(ConstMatrixView<T> a, SvdConfig config = {},
+                     ka::Backend& backend = ka::default_backend()) {
+  if (config.job == SvdJob::ValuesOnly) config.job = SvdJob::Thin;
+  return svd_values_report(a, config, backend);
+}
+
+/// The unified full SVD: A ~= u * diag(values) * vt in storage precision —
+/// the `svd` counterpart of svd_values. config.job selects Thin (default
+/// when left at ValuesOnly) or Full factors. The values are bit-identical
+/// to svd_values(a, config, backend): vector accumulation never touches the
+/// working matrix, the band, or the bidiagonal iteration's arithmetic.
+template <class T>
+Svd<T> svd(ConstMatrixView<T> a, const SvdConfig& config = {},
+           ka::Backend& backend = ka::default_backend()) {
+  return detail::narrow_svd<T>(svd_report(a, config, backend));
 }
 
 }  // namespace unisvd

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <optional>
 #include <sstream>
+#include <system_error>
 
 #include "common/half.hpp"
 #include "core/batch.hpp"
@@ -346,5 +349,60 @@ BatchConfig tuned_batch_config(const TuningTable& table, const ka::Backend& back
   base.svd.kernels = table.kernels_or(backend.name(), p, base.svd.kernels);
   return base;
 }
+
+std::string default_tuning_path() {
+  if (const char* env = std::getenv("UNISVD_TUNING_FILE")) {
+    return std::string(env);  // empty value disables the default table
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg != nullptr && *xdg != '\0') {
+    return std::string(xdg) + "/unisvd/tuning.txt";
+  }
+  if (const char* home = std::getenv("HOME"); home != nullptr && *home != '\0') {
+    return std::string(home) + "/.cache/unisvd/tuning.txt";
+  }
+  return {};
+}
+
+TuningTable default_tuning_table() {
+  const std::string path = default_tuning_path();
+  if (path.empty()) return TuningTable{};
+  return TuningTable::load(path);
+}
+
+BatchConfig tuned_batch_config(const ka::Backend& backend, Precision p,
+                               BatchConfig base) {
+  return tuned_batch_config(default_tuning_table(), backend, p, std::move(base));
+}
+
+template <class T>
+index_t learn_batch_crossover(ka::Backend& backend, std::vector<index_t> sizes,
+                              std::size_t problems_per_size, int repeats,
+                              const SvdConfig& config, std::uint64_t seed) {
+  const std::string path = default_tuning_path();
+  UNISVD_REQUIRE(!path.empty(),
+                 "learn_batch_crossover: no default tuning location — set "
+                 "UNISVD_TUNING_FILE (or XDG_CACHE_HOME / HOME)");
+  TuningTable table = TuningTable::load(path);
+  const index_t crossover = learn_batch_crossover<T>(
+      table, backend, std::move(sizes), problems_per_size, repeats, config, seed);
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // save() reports failure
+  }
+  UNISVD_REQUIRE(table.save(path),
+                 "learn_batch_crossover: cannot write tuning table to " + path);
+  return crossover;
+}
+
+template index_t learn_batch_crossover<Half>(ka::Backend&, std::vector<index_t>,
+                                             std::size_t, int, const SvdConfig&,
+                                             std::uint64_t);
+template index_t learn_batch_crossover<float>(ka::Backend&, std::vector<index_t>,
+                                              std::size_t, int, const SvdConfig&,
+                                              std::uint64_t);
+template index_t learn_batch_crossover<double>(ka::Backend&, std::vector<index_t>,
+                                               std::size_t, int, const SvdConfig&,
+                                               std::uint64_t);
 
 }  // namespace unisvd::core

@@ -150,4 +150,37 @@ index_t learn_batch_crossover(TuningTable& table, ka::Backend& backend,
                                              const ka::Backend& backend, Precision p,
                                              BatchConfig base = {});
 
+/// ---- Process-default tuning table location ----
+///
+/// Libraries should pick up persisted tunings without plumbing a path
+/// through every call site. The default location is resolved once per call:
+///
+///   1. $UNISVD_TUNING_FILE            — explicit override; an empty value
+///                                        disables the default table
+///   2. $XDG_CACHE_HOME/unisvd/tuning.txt
+///   3. $HOME/.cache/unisvd/tuning.txt — the XDG fallback spelled out
+///
+/// and "" when none of the variables resolve (no default location).
+[[nodiscard]] std::string default_tuning_path();
+
+/// The table at default_tuning_path() — empty when the path is unset or the
+/// file is absent/unreadable (TuningTable::load is graceful).
+[[nodiscard]] TuningTable default_tuning_table();
+
+/// tuned_batch_config against the process-default table: the zero-plumbing
+/// entry point — honors UNISVD_TUNING_FILE / the XDG fallback and falls
+/// back to `base` for anything unmeasured.
+[[nodiscard]] BatchConfig tuned_batch_config(const ka::Backend& backend, Precision p,
+                                             BatchConfig base = {});
+
+/// learn_batch_crossover against the process-default table: loads the table
+/// from default_tuning_path(), measures, and writes the table back (creating
+/// parent directories). Throws unisvd::Error when no default location
+/// resolves or the table cannot be written — a silent measurement that is
+/// never persisted would defeat the point of this overload.
+template <class T>
+index_t learn_batch_crossover(ka::Backend& backend, std::vector<index_t> sizes = {},
+                              std::size_t problems_per_size = 8, int repeats = 2,
+                              const SvdConfig& config = {}, std::uint64_t seed = 42);
+
 }  // namespace unisvd::core

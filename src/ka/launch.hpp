@@ -23,7 +23,11 @@ enum class Stage {
   PanelFactorization,   ///< GEQRT / TSQRT (and fused TSQRT)
   TrailingUpdate,       ///< UNMQR / TSMQR (and fused TSMQR)
   BandToBidiagonal,     ///< Phase 2 bulge chasing
-  BidiagonalToDiagonal  ///< Phase 3 singular values of the bidiagonal
+  BidiagonalToDiagonal, ///< Phase 3 singular values of the bidiagonal
+  VectorAccumulation,   ///< singular-vector accumulation (SvdJob::Thin/Full):
+                        ///< Stage-1 reflector applications to the U/V factors
+                        ///< plus the final factor composition/unpadding
+  kCount                ///< number of stages (StageTimes storage extent)
 };
 
 [[nodiscard]] constexpr const char* to_string(Stage s) noexcept {
@@ -32,6 +36,8 @@ enum class Stage {
     case Stage::TrailingUpdate: return "trailing";
     case Stage::BandToBidiagonal: return "band2bidiag";
     case Stage::BidiagonalToDiagonal: return "bidiag2diag";
+    case Stage::VectorAccumulation: return "vector-acc";
+    case Stage::kCount: break;
   }
   return "?";
 }

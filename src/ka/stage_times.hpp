@@ -35,7 +35,7 @@ class StageTimes {
   }
 
  private:
-  std::array<double, 4> seconds_{};
+  std::array<double, static_cast<std::size_t>(Stage::kCount)> seconds_{};
 };
 
 /// Launch with optional per-stage wall-clock accounting.

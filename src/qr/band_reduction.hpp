@@ -12,6 +12,7 @@
 /// lower-triangular superdiagonal tiles.
 
 #include "common/matrix.hpp"
+#include "common/precision.hpp"
 #include "ka/backend.hpp"
 #include "ka/stage_times.hpp"
 #include "qr/geqrt.hpp"
@@ -26,13 +27,29 @@ namespace unisvd::qr {
 /// panel is tile column k starting at tile row row0, annihilated down to
 /// tile row ntrows-1; the trailing update covers tile columns
 /// [k+1, ntcols). The grid may be rectangular (tall QR preprocessing).
+///
+/// When `acc` is non-null the sweep additionally accumulates its orthogonal
+/// transform into the compute-precision accumulator: every reflector set is
+/// applied (as Q^T from the left, via unmqr_apply/tsmqr_apply) to ALL tile
+/// columns of *acc immediately after its factorization, in the same order
+/// the trailing update sees it. Seeding the accumulator with the identity
+/// therefore yields Q_sweep^T after the sweep; threading the same
+/// accumulator through every sweep yields the transposed left (QR sweeps)
+/// or right (LQ sweeps on the lazy-transposed view) factor of the whole
+/// reduction. The values path (acc == nullptr) launches exactly the same
+/// kernels on W as before — results stay bit-identical.
 template <class T>
 void qr_sweep(ka::Backend& be, MatrixView<T> W, MatrixView<T> Tau, index_t k,
               index_t row0, index_t ntrows, index_t ntcols, const KernelConfig& cfg,
-              ka::StageTimes* times = nullptr) {
+              ka::StageTimes* times = nullptr,
+              MatrixView<compute_t<T>>* acc = nullptr) {
+  const index_t acc_nt = acc != nullptr ? acc->cols() / cfg.tilesize : 0;
   geqrt(be, W, row0, k, Tau, cfg, times);
   if (k + 1 < ntcols) {
     unmqr(be, W, row0, k, k + 1, ntcols, Tau, cfg, times);
+  }
+  if (acc != nullptr) {
+    unmqr_apply(be, W, Tau, *acc, row0, k, 0, acc_nt, cfg, times);
   }
   if (row0 + 1 >= ntrows) return;
 
@@ -41,11 +58,18 @@ void qr_sweep(ka::Backend& be, MatrixView<T> W, MatrixView<T> Tau, index_t k,
     if (k + 1 < ntcols) {
       tsmqr(be, W, row0, k, row0 + 1, ntrows, k + 1, ntcols, Tau, cfg, times);
     }
+    if (acc != nullptr) {
+      tsmqr_apply(be, W, Tau, *acc, row0, k, row0 + 1, ntrows, 0, acc_nt, cfg,
+                  times);
+    }
   } else {
     for (index_t l = row0 + 1; l < ntrows; ++l) {
       tsqrt(be, W, row0, k, l, l + 1, Tau, cfg, times);
       if (k + 1 < ntcols) {
         tsmqr(be, W, row0, k, l, l + 1, k + 1, ntcols, Tau, cfg, times);
+      }
+      if (acc != nullptr) {
+        tsmqr_apply(be, W, Tau, *acc, row0, k, l, l + 1, 0, acc_nt, cfg, times);
       }
     }
   }
@@ -56,8 +80,9 @@ void qr_sweep(ka::Backend& be, MatrixView<T> W, MatrixView<T> Tau, index_t k,
 template <class T>
 void getsmqrt(ka::Backend& be, MatrixView<T> W, MatrixView<T> Tau, index_t k,
               index_t row0, index_t ntiles, const KernelConfig& cfg,
-              ka::StageTimes* times = nullptr) {
-  qr_sweep(be, W, Tau, k, row0, ntiles, ntiles, cfg, times);
+              ka::StageTimes* times = nullptr,
+              MatrixView<compute_t<T>>* acc = nullptr) {
+  qr_sweep(be, W, Tau, k, row0, ntiles, ntiles, cfg, times, acc);
 }
 
 /// Tall QR factorization: reduce an (ntrows x ntcols)-tile working view
@@ -66,9 +91,14 @@ void getsmqrt(ka::Backend& be, MatrixView<T> W, MatrixView<T> Tau, index_t k,
 /// inputs (paper: "support for non-square matrices ... subject of further
 /// work"). On exit the upper triangle of the top ntcols x ntcols tiles
 /// holds R; the rest holds implicit reflectors.
+/// When `uacc` is non-null (an m_pad x m_pad compute-precision view,
+/// typically seeded with the identity), every sweep's Q^T is additionally
+/// accumulated into it: on exit uacc holds Q_tall^T on top of whatever it
+/// contained.
 template <class T>
 void tall_qr(ka::Backend& be, MatrixView<T> A, MatrixView<T> Tau,
-             const KernelConfig& cfg, ka::StageTimes* times = nullptr) {
+             const KernelConfig& cfg, ka::StageTimes* times = nullptr,
+             MatrixView<compute_t<T>>* uacc = nullptr) {
   cfg.validate();
   UNISVD_REQUIRE(A.rows() >= A.cols(), "tall_qr: matrix must be tall (rows >= cols)");
   UNISVD_REQUIRE(A.rows() % cfg.tilesize == 0 && A.cols() % cfg.tilesize == 0,
@@ -78,16 +108,29 @@ void tall_qr(ka::Backend& be, MatrixView<T> A, MatrixView<T> Tau,
   UNISVD_REQUIRE(Tau.rows() >= ntrows && Tau.cols() >= cfg.tilesize,
                  "tall_qr: Tau workspace too small");
   for (index_t k = 0; k < ntcols; ++k) {
-    qr_sweep(be, A, Tau, k, k, ntrows, ntcols, cfg, times);
+    qr_sweep(be, A, Tau, k, k, ntrows, ntcols, cfg, times, uacc);
   }
 }
 
 /// Reduce A (square, extent divisible by TILESIZE) to upper band form of
 /// bandwidth TILESIZE via alternating QR/LQ sweeps (Algorithm 2). Tau is an
 /// (ntiles x TILESIZE) workspace in storage precision, reused per sweep.
+///
+/// Optional singular-vector accumulation (SvdJob::Thin/Full): `ut` receives
+/// the transposed left factor (QR sweeps: ut <- Q_sweep^T * ut), `vt` the
+/// transposed right factor (LQ sweeps on the lazy-transposed view:
+/// vt <- P_sweep^T * vt). Seed both with the identity to obtain
+/// A = ut^T * Band * vt on exit (in exact arithmetic). Accumulators are
+/// compute-precision views whose row/column extent is a multiple of
+/// TILESIZE covering at least the sweep row range; the extra kernel
+/// launches are attributed to Stage::VectorAccumulation and never touch A,
+/// so the band (and the singular values downstream) is bit-identical with
+/// or without accumulation.
 template <class T>
 void band_reduction(ka::Backend& be, MatrixView<T> A, MatrixView<T> Tau,
-                    const KernelConfig& cfg, ka::StageTimes* times = nullptr) {
+                    const KernelConfig& cfg, ka::StageTimes* times = nullptr,
+                    MatrixView<compute_t<T>>* ut = nullptr,
+                    MatrixView<compute_t<T>>* vt = nullptr) {
   cfg.validate();
   UNISVD_REQUIRE(A.rows() == A.cols(), "band_reduction: matrix must be square");
   UNISVD_REQUIRE(A.rows() % cfg.tilesize == 0,
@@ -97,10 +140,10 @@ void band_reduction(ka::Backend& be, MatrixView<T> A, MatrixView<T> Tau,
                  "band_reduction: Tau workspace too small");
 
   for (index_t k = 0; k + 1 < ntiles; ++k) {
-    getsmqrt(be, A, Tau, k, k, ntiles, cfg, times);                  // QR sweep
-    getsmqrt(be, A.transposed(), Tau, k, k + 1, ntiles, cfg, times); // LQ sweep
+    getsmqrt(be, A, Tau, k, k, ntiles, cfg, times, ut);                  // QR sweep
+    getsmqrt(be, A.transposed(), Tau, k, k + 1, ntiles, cfg, times, vt); // LQ sweep
   }
-  getsmqrt(be, A, Tau, ntiles - 1, ntiles - 1, ntiles, cfg, times);
+  getsmqrt(be, A, Tau, ntiles - 1, ntiles - 1, ntiles, cfg, times, ut);
 }
 
 /// Emit the exact Phase-1 launch schedule for an (ntiles*ts)^2 matrix into

@@ -126,10 +126,17 @@ void geqrt(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
         CT tau;
         CT rho2;
         const CT guard = CT(10) * compute_eps<CT>();
-        if (std::abs(x) < guard) {  // small-reflector guard
+        // Small-reflector guard (Algorithm 3 lines 14-15). The column is
+        // numerically zero, so the stored reflector is the exact orthogonal
+        // sign flip H = I - 2 e_k e_k^T: tail v = 0, tau_hat = 2. (Dividing
+        // the ~eps tail by the guard would store a non-unit v with tau = 2 —
+        // a non-orthogonal H, invisible to singular values but poisonous to
+        // the accumulated singular vectors.)
+        const bool negligible = std::abs(x) < guard;
+        if (negligible) {
           x = guard;
           tau = CT(2);
-          rho2 = CT(2) * (rowk[i] + rho / x);
+          rho2 = CT(2) * rowk[i];
         } else {
           tau = CT(2) * x * x / (x * x + nrm);
           rho2 = (tau / x) * (rowk[i] * x + rho);
@@ -138,9 +145,9 @@ void geqrt(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
         if (i == kk) {
           if (s == 0) tauv[kk] = tau;
           for (int rr = 0; rr < seg; ++rr) {
-            if (r0 + rr > kk) a[rr] /= x;  // store normalized tail v
+            if (r0 + rr > kk) a[rr] = negligible ? CT(0) : a[rr] / x;
           }
-        } else {
+        } else if (!negligible) {
           for (int rr = 0; rr < seg; ++rr) {
             if (r0 + rr > kk) a[rr] -= rho2 * (Ak[r0 + rr] / x);
           }

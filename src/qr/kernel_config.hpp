@@ -61,9 +61,16 @@ inline double tsqrt_bytes_w(int ts, index_t nrows, std::size_t S) {
 inline double unmqr_flops(int ts, index_t ncols) {
   return 2.0 * double(ts) * ts * double(ncols);
 }
-inline double unmqr_bytes_r(int ts, index_t ncols, index_t wgs, std::size_t S) {
+/// Two element sizes: Sx for the update target (X columns), Sv for the
+/// reflector source (tile + tau). They differ in the vector-accumulation
+/// variant, where FP16 reflectors update an FP32 accumulator.
+inline double unmqr_bytes_r(int ts, index_t ncols, index_t wgs, std::size_t Sx,
+                            std::size_t Sv) {
   // X columns + reflector tile re-staged by every workgroup + tau
-  return double(ncols) * ts * S + double(wgs) * ts * ts * S + double(wgs) * ts * S;
+  return double(ncols) * ts * Sx + double(wgs) * ts * ts * Sv + double(wgs) * ts * Sv;
+}
+inline double unmqr_bytes_r(int ts, index_t ncols, index_t wgs, std::size_t S) {
+  return unmqr_bytes_r(ts, ncols, wgs, S, S);
 }
 inline double unmqr_bytes_w(int ts, index_t ncols, std::size_t S) {
   return double(ncols) * ts * S;
@@ -72,12 +79,17 @@ inline double unmqr_bytes_w(int ts, index_t ncols, std::size_t S) {
 inline double tsmqr_flops(int ts, index_t nrows, index_t ncols) {
   return 4.0 * double(ts) * ts * double(ncols) * double(nrows);
 }
+/// Sx / Sv as for unmqr_bytes_r above.
 inline double tsmqr_bytes_r(int ts, index_t nrows, index_t ncols, index_t wgs,
-                            std::size_t S) {
+                            std::size_t Sx, std::size_t Sv) {
   // Top row once per workgroup-set; bottom rows; V tiles and tau re-staged
   // per workgroup per row.
-  return double(ncols) * ts * S + double(nrows) * ncols * ts * S +
-         double(wgs) * nrows * ts * ts * S + double(wgs) * nrows * ts * S;
+  return double(ncols) * ts * Sx + double(nrows) * ncols * ts * Sx +
+         double(wgs) * nrows * ts * ts * Sv + double(wgs) * nrows * ts * Sv;
+}
+inline double tsmqr_bytes_r(int ts, index_t nrows, index_t ncols, index_t wgs,
+                            std::size_t S) {
+  return tsmqr_bytes_r(ts, nrows, ncols, wgs, S, S);
 }
 inline double tsmqr_bytes_w(int ts, index_t nrows, index_t ncols, std::size_t S) {
   return double(ncols) * ts * S + double(nrows) * ncols * ts * S;

@@ -11,6 +11,13 @@
 /// launch while the top-row column y stays in registers (`Yi` in
 /// Algorithm 5) — the memory-traffic and launch-count saving of Figure 2.
 /// nrows == 1 recovers the classic per-row TSMQR.
+///
+/// ONE kernel body serves two call shapes: the classic trailing update
+/// (`tsmqr` — reflector source and update target are the same working
+/// matrix, Stage::TrailingUpdate) and the singular-vector accumulation
+/// (`tsmqr_apply` — separate source and target with independent storage
+/// types, Stage::VectorAccumulation). Keeping a single body guarantees the
+/// two paths can never drift numerically.
 
 #include "common/matrix.hpp"
 #include "common/precision.hpp"
@@ -20,14 +27,20 @@
 
 namespace unisvd::qr {
 
-/// Apply the TSQRT reflector sets of tiles (l, k), l in [lbegin, lend), to
-/// the tile rows row0 (top) and l (bottom), columns [jbegin, jend) tiles.
-template <class T>
-void tsmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
-           index_t lbegin, index_t lend, index_t jbegin, index_t jend,
-           MatrixView<T> Tau, const KernelConfig& cfg,
-           ka::StageTimes* times = nullptr) {
-  using CT = compute_t<T>;
+namespace detail {
+
+/// Apply the TSQRT reflector sets of tiles (l, k) of V, l in [lbegin,
+/// lend) (tau rows l of Tau), to tile rows row0 (top) and l (bottom) of C,
+/// tile columns [jbegin, jend). V and C may be the same matrix (trailing
+/// update) or different ones (factor accumulation); the compute type
+/// follows the target.
+template <class TS, class TA>
+void tsmqr_impl(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
+                MatrixView<TA> C, index_t row0, index_t k, index_t lbegin,
+                index_t lend, index_t jbegin, index_t jend,
+                const KernelConfig& cfg, ka::Stage stage,
+                ka::StageTimes* times) {
+  using CT = compute_t<TA>;
   const int ts = cfg.tilesize;
   const int cpb = cfg.colperblock;
   const index_t nrows = lend - lbegin;
@@ -41,15 +54,16 @@ void tsmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
 
   ka::LaunchDesc desc;
   desc.name = nrows > 1 ? "ftsmqr" : "tsmqr";
-  desc.stage = ka::Stage::TrailingUpdate;
+  desc.stage = stage;
   desc.num_groups = wgs;
   desc.group_size = cpb;
   desc.local_bytes = static_cast<std::size_t>(2 * ts) * sizeof(CT);
   desc.private_bytes_per_item = static_cast<std::size_t>(2 * ts + 1) * sizeof(CT);
-  desc.precision = precision_of<T>;
+  desc.precision = precision_of<TA>;
   desc.cost.flops = cost::tsmqr_flops(ts, nrows, ncols);
-  desc.cost.bytes_read = cost::tsmqr_bytes_r(ts, nrows, ncols, wgs, sizeof(T));
-  desc.cost.bytes_written = cost::tsmqr_bytes_w(ts, nrows, ncols, sizeof(T));
+  desc.cost.bytes_read =
+      cost::tsmqr_bytes_r(ts, nrows, ncols, wgs, sizeof(TA), sizeof(TS));
+  desc.cost.bytes_written = cost::tsmqr_bytes_w(ts, nrows, ncols, sizeof(TA));
   desc.cost.serial_iterations = 2.0 * ts * static_cast<double>(nrows);
 
   ka::timed_launch(be, desc, [=](ka::WorkGroupCtx& wg) {
@@ -63,7 +77,7 @@ void tsmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
       const index_t c = cg0 + t;
       if (c >= colend) return;
       auto y = Yi(t);
-      for (int r = 0; r < ts; ++r) y[r] = static_cast<CT>(W.at(rtop + r, c));
+      for (int r = 0; r < ts; ++r) y[r] = static_cast<CT>(C.at(rtop + r, c));
     });
 
     for (index_t l = lbegin; l < lend; ++l) {
@@ -76,13 +90,13 @@ void tsmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
         const index_t c = cg0 + t;
         if (c >= colend) return;
         auto x = Xi(t);
-        for (int r = 0; r < ts; ++r) x[r] = static_cast<CT>(W.at(rbot + r, c));
+        for (int r = 0; r < ts; ++r) x[r] = static_cast<CT>(C.at(rbot + r, c));
       });
 
       for (int kk = 0; kk < ts; ++kk) {
         wg.items([&](int t) {  // stage reflector tail v_kk (full B column)
           for (int idx = t; idx < ts; idx += cpb) {
-            Ak[idx] = static_cast<CT>(W.at(rbot + idx, cbase + kk));
+            Ak[idx] = static_cast<CT>(V.at(rbot + idx, cbase + kk));
           }
         });
         wg.items([&](int t) {
@@ -102,7 +116,7 @@ void tsmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
         const index_t c = cg0 + t;
         if (c >= colend) return;
         auto x = Xi(t);
-        for (int r = 0; r < ts; ++r) W.at(rbot + r, c) = static_cast<T>(x[r]);
+        for (int r = 0; r < ts; ++r) C.at(rbot + r, c) = static_cast<TA>(x[r]);
       });
     }
 
@@ -110,9 +124,38 @@ void tsmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
       const index_t c = cg0 + t;
       if (c >= colend) return;
       auto y = Yi(t);
-      for (int r = 0; r < ts; ++r) W.at(rtop + r, c) = static_cast<T>(y[r]);
+      for (int r = 0; r < ts; ++r) C.at(rtop + r, c) = static_cast<TA>(y[r]);
     });
   }, times);
+}
+
+}  // namespace detail
+
+/// Apply the TSQRT reflector sets of tiles (l, k), l in [lbegin, lend), to
+/// the tile rows row0 (top) and l (bottom), columns [jbegin, jend) tiles.
+template <class T>
+void tsmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
+           index_t lbegin, index_t lend, index_t jbegin, index_t jend,
+           MatrixView<T> Tau, const KernelConfig& cfg,
+           ka::StageTimes* times = nullptr) {
+  detail::tsmqr_impl(be, W, Tau, W, row0, k, lbegin, lend, jbegin, jend, cfg,
+                     ka::Stage::TrailingUpdate, times);
+}
+
+/// Singular-vector accumulation variant of TSMQR: apply the TSQRT
+/// reflector sets stored in tiles (l, k) of `V`, l in [lbegin, lend) (tau
+/// rows l of `Tau`), to tile rows row0 (top) and l (bottom) of a
+/// *different* matrix `C`, tile columns [jbegin, jend). Reflector source
+/// and update target have independent storage types — the U/V accumulators
+/// stay in compute precision. Launches are attributed to
+/// Stage::VectorAccumulation.
+template <class TS, class TA>
+void tsmqr_apply(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
+                 MatrixView<TA> C, index_t row0, index_t k, index_t lbegin,
+                 index_t lend, index_t jbegin, index_t jend,
+                 const KernelConfig& cfg, ka::StageTimes* times = nullptr) {
+  detail::tsmqr_impl(be, V, Tau, C, row0, k, lbegin, lend, jbegin, jend, cfg,
+                     ka::Stage::VectorAccumulation, times);
 }
 
 }  // namespace unisvd::qr

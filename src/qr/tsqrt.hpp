@@ -129,10 +129,14 @@ void tsqrt(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
           CT tau;
           CT rho2;
           const CT guard = CT(10) * compute_eps<CT>();
-          if (std::abs(x) < guard) {
+          // Small-reflector guard: store the exact sign-flip reflector
+          // (tail v = 0, tau_hat = 2) for a numerically-zero column — see
+          // the matching comment in geqrt.hpp.
+          const bool negligible = std::abs(x) < guard;
+          if (negligible) {
             x = guard;
             tau = CT(2);
-            rho2 = CT(2) * (rowk[i] + rho / x);
+            rho2 = CT(2) * rowk[i];
           } else {
             tau = CT(2) * x * x / (x * x + nrm);
             rho2 = (tau / x) * (rowk[i] * x + rho);
@@ -140,8 +144,10 @@ void tsqrt(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
           auto b = Bi(t);
           if (i == kk) {
             if (s == 0) tauv[kk] = tau;
-            for (int rr = 0; rr < seg; ++rr) b[rr] /= x;  // store tails
-          } else {
+            for (int rr = 0; rr < seg; ++rr) {
+              b[rr] = negligible ? CT(0) : b[rr] / x;  // store tails
+            }
+          } else if (!negligible) {
             for (int rr = 0; rr < seg; ++rr) b[rr] -= rho2 * (Bk[r0 + rr] / x);
           }
           if (s == owner) Ri(t)[kk - r0] = rowk[i] - rho2;

@@ -8,6 +8,13 @@
 /// into local memory cooperatively, then every column applies the
 /// reflector independently (BLAS3-like parallelism).
 ///
+/// ONE kernel body serves two call shapes: the classic trailing update
+/// (`unmqr` — reflector source and update target are the same working
+/// matrix, Stage::TrailingUpdate) and the singular-vector accumulation
+/// (`unmqr_apply` — separate source and target with independent storage
+/// types, Stage::VectorAccumulation). Keeping a single body guarantees the
+/// two paths can never drift numerically.
+///
 /// NOTE (paper erratum): Algorithm 4 line 11 prints `X_i[k:] -= rho`,
 /// which combined with line 12 would update X_i[k+1:] twice. The correct
 /// Householder application — and what the Julia kernel of Algorithm 5
@@ -22,12 +29,18 @@
 
 namespace unisvd::qr {
 
-/// Apply Q^T of GEQRT(tile (row0, k)) to tiles (row0, j), j in [jbegin, jend).
-template <class T>
-void unmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
-           index_t jbegin, index_t jend, MatrixView<T> Tau,
-           const KernelConfig& cfg, ka::StageTimes* times = nullptr) {
-  using CT = compute_t<T>;
+namespace detail {
+
+/// Apply Q^T of GEQRT(tile (row0, k) of V, tau row row0 of Tau) to tile
+/// row row0 of C, tile columns [jbegin, jend). V and C may be the same
+/// matrix (trailing update) or different ones (factor accumulation); the
+/// compute type follows the target.
+template <class TS, class TA>
+void unmqr_impl(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
+                MatrixView<TA> C, index_t row0, index_t k, index_t jbegin,
+                index_t jend, const KernelConfig& cfg, ka::Stage stage,
+                ka::StageTimes* times) {
+  using CT = compute_t<TA>;
   const int ts = cfg.tilesize;
   const int cpb = cfg.colperblock;
   const index_t ncols = (jend - jbegin) * ts;
@@ -40,15 +53,15 @@ void unmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
 
   ka::LaunchDesc desc;
   desc.name = "unmqr";
-  desc.stage = ka::Stage::TrailingUpdate;
+  desc.stage = stage;
   desc.num_groups = wgs;
   desc.group_size = cpb;
   desc.local_bytes = static_cast<std::size_t>(2 * ts) * sizeof(CT);
   desc.private_bytes_per_item = static_cast<std::size_t>(ts + 1) * sizeof(CT);
-  desc.precision = precision_of<T>;
+  desc.precision = precision_of<TA>;
   desc.cost.flops = cost::unmqr_flops(ts, ncols);
-  desc.cost.bytes_read = cost::unmqr_bytes_r(ts, ncols, wgs, sizeof(T));
-  desc.cost.bytes_written = cost::unmqr_bytes_w(ts, ncols, sizeof(T));
+  desc.cost.bytes_read = cost::unmqr_bytes_r(ts, ncols, wgs, sizeof(TA), sizeof(TS));
+  desc.cost.bytes_written = cost::unmqr_bytes_w(ts, ncols, sizeof(TA));
   desc.cost.serial_iterations = 2.0 * ts;
 
   ka::timed_launch(be, desc, [=](ka::WorkGroupCtx& wg) {
@@ -65,13 +78,13 @@ void unmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
       const index_t c = cg0 + t;
       if (c >= colend) return;
       auto x = Xi(t);
-      for (int r = 0; r < ts; ++r) x[r] = static_cast<CT>(W.at(rbase + r, c));
+      for (int r = 0; r < ts; ++r) x[r] = static_cast<CT>(C.at(rbase + r, c));
     });
 
     for (int kk = 0; kk + 1 < ts; ++kk) {
       wg.items([&](int t) {  // stage Householder column kk
         for (int idx = t; idx < ts; idx += cpb) {
-          Ak[idx] = static_cast<CT>(W.at(rbase + idx, cbase + kk));
+          Ak[idx] = static_cast<CT>(V.at(rbase + idx, cbase + kk));
         }
       });
       wg.items([&](int t) {
@@ -90,9 +103,37 @@ void unmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
       const index_t c = cg0 + t;
       if (c >= colend) return;
       auto x = Xi(t);
-      for (int r = 0; r < ts; ++r) W.at(rbase + r, c) = static_cast<T>(x[r]);
+      for (int r = 0; r < ts; ++r) C.at(rbase + r, c) = static_cast<TA>(x[r]);
     });
   }, times);
+}
+
+}  // namespace detail
+
+/// Apply Q^T of GEQRT(tile (row0, k)) to tiles (row0, j), j in [jbegin, jend).
+template <class T>
+void unmqr(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
+           index_t jbegin, index_t jend, MatrixView<T> Tau,
+           const KernelConfig& cfg, ka::StageTimes* times = nullptr) {
+  detail::unmqr_impl(be, W, Tau, W, row0, k, jbegin, jend, cfg,
+                     ka::Stage::TrailingUpdate, times);
+}
+
+/// Singular-vector accumulation variant of UNMQR: apply Q^T of the GEQRT
+/// factorization stored in tile (row0, k) of `V` (tau row `row0` of `Tau`)
+/// to tile row `row0` of a *different* matrix `C`, tile columns
+/// [jbegin, jend). The reflector source and the update target have
+/// independent storage types: the pipeline keeps the U/V factor
+/// accumulators in compute precision (FP32 for FP16 inputs) while the
+/// reflectors stay in storage precision. Launches are attributed to
+/// Stage::VectorAccumulation.
+template <class TS, class TA>
+void unmqr_apply(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
+                 MatrixView<TA> C, index_t row0, index_t k, index_t jbegin,
+                 index_t jend, const KernelConfig& cfg,
+                 ka::StageTimes* times = nullptr) {
+  detail::unmqr_impl(be, V, Tau, C, row0, k, jbegin, jend, cfg,
+                     ka::Stage::VectorAccumulation, times);
 }
 
 }  // namespace unisvd::qr

@@ -30,9 +30,10 @@ struct SimBreakdown {
   double trailing = 0.0;
   double band2bidiag = 0.0;
   double bidiag2diag = 0.0;
+  double vector_acc = 0.0;  ///< singular-vector accumulation (SvdJob::Thin/Full)
 
   [[nodiscard]] double total() const noexcept {
-    return panel + trailing + band2bidiag + bidiag2diag;
+    return panel + trailing + band2bidiag + bidiag2diag + vector_acc;
   }
   void add(ka::Stage s, double t) noexcept {
     switch (s) {
@@ -40,6 +41,8 @@ struct SimBreakdown {
       case ka::Stage::TrailingUpdate: trailing += t; break;
       case ka::Stage::BandToBidiagonal: band2bidiag += t; break;
       case ka::Stage::BidiagonalToDiagonal: bidiag2diag += t; break;
+      case ka::Stage::VectorAccumulation: vector_acc += t; break;
+      case ka::Stage::kCount: break;
     }
   }
 };

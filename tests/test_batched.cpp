@@ -139,12 +139,26 @@ TEST(BatchedSvd, AutoResolvesSchedulePerProblem) {
   auto cfg = batch_config(BatchSchedule::Auto);
   cfg.crossover_n = 32;
 
+  // This batch is *ragged* (one problem above the crossover, two at or
+  // below it): Auto promotes the whole batch to the Mixed work-stealing
+  // schedule — large problems become stealing slots, small ones stay
+  // inter-problem.
   ka::CpuBackend cpu(4);
   const auto rep = svd_values_batched_report<double>(batch, cfg, cpu);
   ASSERT_EQ(rep.schedules.size(), 3u);
   EXPECT_EQ(rep.schedules[0], BatchSchedule::InterProblem);
-  EXPECT_EQ(rep.schedules[1], BatchSchedule::IntraProblem);
+  EXPECT_EQ(rep.schedules[1], BatchSchedule::Mixed);
   EXPECT_EQ(rep.schedules[2], BatchSchedule::InterProblem);
+
+  // Homogeneous batches keep the classic per-problem resolution: all-large
+  // goes intra (nothing to drain inter-problem behind the stealing slots)…
+  const std::vector<ConstMatrixView<double>> all_large{large.view(), large.view()};
+  const auto large_rep = svd_values_batched_report<double>(all_large, cfg, cpu);
+  for (const auto s : large_rep.schedules) EXPECT_EQ(s, BatchSchedule::IntraProblem);
+  // …and all-small goes inter (no stealing source, the pool is saturated).
+  const std::vector<ConstMatrixView<double>> all_small{small.view(), small2.view()};
+  const auto small_rep = svd_values_batched_report<double>(all_small, cfg, cpu);
+  for (const auto s : small_rep.schedules) EXPECT_EQ(s, BatchSchedule::InterProblem);
 
   // Without a pool every problem demotes to intra, under any requested
   // schedule, and results are unchanged.

@@ -1,0 +1,444 @@
+/// Tests of the full SVD (U, Sigma, V^T) across precisions, shapes and
+/// jobs: reconstruction residual ||A - U S V^T||_F / ||A||_F and
+/// orthogonality defects ||U^T U - I||_F, ||V^T V - I||_F within 50*eps*n
+/// at each precision's storage epsilon (FP16 accumulates vectors on its
+/// FP32 compute path), values bit-identical to svd_values, agreement with
+/// the baseline::jacobi oracle, and batched vectors under
+/// ErrorPolicy::Isolate.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "baseline/jacobi.hpp"
+#include "common/linalg_ref.hpp"
+#include "core/batch.hpp"
+#include "core/svd.hpp"
+#include "rand/matrix_gen.hpp"
+#include "rand/spectrum.hpp"
+#include "test_util.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+SvdConfig vec_config(SvdJob job = SvdJob::Thin, int ts = 8) {
+  SvdConfig cfg;
+  cfg.kernels.tilesize = ts;
+  cfg.kernels.colperblock = std::min(8, ts);
+  cfg.job = job;
+  return cfg;
+}
+
+/// || A - U diag(values) V^T ||_F / || A ||_F, measured in double from the
+/// report's compute-path factors. Handles thin and full shapes (columns of
+/// U beyond k multiply zero).
+template <class T>
+double reconstruction_residual(ConstMatrixView<T> a, const SvdReport& rep) {
+  const Matrix<double> ad = ref::to_double(a);
+  Matrix<double> us(rep.u.rows(), rep.vt.rows(), 0.0);
+  for (index_t j = 0; j < us.cols(); ++j) {
+    if (j >= static_cast<index_t>(rep.values.size())) continue;
+    const double s = rep.values[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i < us.rows(); ++i) {
+      us(i, j) = rep.u(i, j) * s;
+    }
+  }
+  const Matrix<double> prod =
+      ref::matmul(ConstMatrixView<double>(us.view()), rep.vt.view());
+  const double denom = ref::fro_norm(ad.view());
+  const double diff = ref::fro_diff(ad.view(), prod.view());
+  return denom == 0.0 ? diff : diff / denom;
+}
+
+/// The acceptance bound: 50 * eps * n at the precision's storage epsilon.
+template <class T>
+double accept_tol(index_t m, index_t n) {
+  return 50.0 * precision_traits<T>::storage_eps * static_cast<double>(std::max(m, n));
+}
+
+/// Orthogonality bound for the accumulated factors: the same 50 * eps * n.
+/// FP16 factors are *measured* on the FP32 compute path (the report's
+/// double-held u/vt, accumulated in FP32), but the reflectors they are
+/// built from were rounded to FP16 storage by Stage 1, so each applied
+/// transform deviates from orthogonality by O(eps_fp16) — the defect is
+/// bounded by FP16's storage epsilon, not FP32's (measured ~5e-3 at n=32,
+/// comfortably inside 50 * eps * n ~ 1.5).
+template <class T>
+double ortho_tol(index_t m, index_t n) {
+  return accept_tol<T>(m, n);
+}
+
+template <class T>
+void expect_valid_svd(ConstMatrixView<T> a, const SvdReport& rep, SvdJob job,
+                      const char* tag) {
+  const std::string what = std::string(tag) + " [" + to_string(job) + "]";
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min(m, n);
+  ASSERT_EQ(rep.values.size(), static_cast<std::size_t>(k)) << what;
+  if (job == SvdJob::Full) {
+    ASSERT_EQ(rep.u.rows(), m) << what;
+    ASSERT_EQ(rep.u.cols(), m) << what;
+    ASSERT_EQ(rep.vt.rows(), n) << what;
+    ASSERT_EQ(rep.vt.cols(), n) << what;
+  } else {
+    ASSERT_EQ(rep.u.rows(), m) << what;
+    ASSERT_EQ(rep.u.cols(), k) << what;
+    ASSERT_EQ(rep.vt.rows(), k) << what;
+    ASSERT_EQ(rep.vt.cols(), n) << what;
+  }
+  EXPECT_LE(reconstruction_residual(a, rep), accept_tol<T>(m, n)) << what;
+  EXPECT_LE(ref::orthogonality_defect(rep.u.view()), ortho_tol<T>(m, n)) << what;
+  EXPECT_LE(ref::orthogonality_defect(rep.vt.view().transposed()), ortho_tol<T>(m, n))
+      << what;
+  for (std::size_t i = 1; i < rep.values.size(); ++i) {
+    EXPECT_LE(rep.values[i], rep.values[i - 1]) << what;
+  }
+}
+
+}  // namespace
+
+template <class T>
+class SvdVectorsTyped : public ::testing::Test {};
+using StorageTypes = ::testing::Types<Half, float, double>;
+TYPED_TEST_SUITE(SvdVectorsTyped, StorageTypes);
+
+TYPED_TEST(SvdVectorsTyped, SquareThin) {
+  const auto a = testutil::convert<TypeParam>(testutil::random_matrix(32, 32, 501));
+  const auto rep = svd_report<TypeParam>(a.view(), vec_config());
+  expect_valid_svd<TypeParam>(a.view(), rep, SvdJob::Thin, "square 32");
+}
+
+TYPED_TEST(SvdVectorsTyped, TallThin) {
+  const auto a = testutil::convert<TypeParam>(testutil::random_matrix(48, 24, 502));
+  const auto rep = svd_report<TypeParam>(a.view(), vec_config());
+  expect_valid_svd<TypeParam>(a.view(), rep, SvdJob::Thin, "tall 48x24");
+}
+
+TYPED_TEST(SvdVectorsTyped, WideThin) {
+  const auto a = testutil::convert<TypeParam>(testutil::random_matrix(24, 40, 503));
+  const auto rep = svd_report<TypeParam>(a.view(), vec_config());
+  expect_valid_svd<TypeParam>(a.view(), rep, SvdJob::Thin, "wide 24x40");
+}
+
+TYPED_TEST(SvdVectorsTyped, PaddedSquareThin) {
+  // 33 with TILESIZE 16 pads to 48: exercises padding-row/column isolation.
+  const auto a = testutil::convert<TypeParam>(testutil::random_matrix(33, 33, 504));
+  const auto rep = svd_report<TypeParam>(a.view(), vec_config(SvdJob::Thin, 16));
+  EXPECT_EQ(rep.padded_n, 48);
+  expect_valid_svd<TypeParam>(a.view(), rep, SvdJob::Thin, "padded 33 ts16");
+}
+
+TYPED_TEST(SvdVectorsTyped, SmallerThanTile) {
+  const auto a = testutil::convert<TypeParam>(testutil::random_matrix(10, 10, 505));
+  const auto rep = svd_report<TypeParam>(a.view(), vec_config(SvdJob::Thin, 16));
+  expect_valid_svd<TypeParam>(a.view(), rep, SvdJob::Thin, "n10 ts16");
+}
+
+TYPED_TEST(SvdVectorsTyped, SquareFull) {
+  const auto a = testutil::convert<TypeParam>(testutil::random_matrix(20, 20, 506));
+  const auto rep = svd_report<TypeParam>(a.view(), vec_config(SvdJob::Full));
+  expect_valid_svd<TypeParam>(a.view(), rep, SvdJob::Full, "square full 20");
+}
+
+TYPED_TEST(SvdVectorsTyped, TallFullHasOrthonormalCompletion) {
+  const auto a = testutil::convert<TypeParam>(testutil::random_matrix(40, 16, 507));
+  const auto rep = svd_report<TypeParam>(a.view(), vec_config(SvdJob::Full));
+  expect_valid_svd<TypeParam>(a.view(), rep, SvdJob::Full, "tall full 40x16");
+}
+
+TYPED_TEST(SvdVectorsTyped, WideFullHasOrthonormalCompletion) {
+  const auto a = testutil::convert<TypeParam>(testutil::random_matrix(16, 33, 508));
+  const auto rep = svd_report<TypeParam>(a.view(), vec_config(SvdJob::Full));
+  expect_valid_svd<TypeParam>(a.view(), rep, SvdJob::Full, "wide full 16x33");
+}
+
+TYPED_TEST(SvdVectorsTyped, ValuesBitIdenticalToSvdValues) {
+  const std::pair<index_t, index_t> shapes[] = {{24, 24}, {40, 24}, {24, 40}};
+  for (const auto& [m, n] : shapes) {
+    const auto a = testutil::convert<TypeParam>(
+        testutil::random_matrix(m, n, 600 + static_cast<std::uint64_t>(m + n)));
+    const auto plain = svd_values<TypeParam>(a.view(), vec_config(SvdJob::ValuesOnly));
+    const auto vecs = svd<TypeParam>(a.view(), vec_config(SvdJob::Thin));
+    ASSERT_EQ(plain.size(), vecs.values.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      // Bit identity: vector accumulation must not perturb the values path.
+      EXPECT_EQ(static_cast<double>(plain[i]), static_cast<double>(vecs.values[i]))
+          << "m=" << m << " n=" << n << " i=" << i;
+    }
+    const auto full = svd<TypeParam>(a.view(), vec_config(SvdJob::Full));
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(static_cast<double>(plain[i]), static_cast<double>(full.values[i]));
+    }
+  }
+}
+
+TYPED_TEST(SvdVectorsTyped, AutoScaleLeavesFactorsOrthogonal) {
+  // A matrix far outside [0.25, 4] triggers auto_scale; the values are
+  // rescaled on output and the factors must still reconstruct the ORIGINAL
+  // (unscaled) input.
+  auto ad = testutil::random_matrix(24, 24, 509);
+  for (index_t j = 0; j < 24; ++j) {
+    for (index_t i = 0; i < 24; ++i) ad(i, j) *= 64.0;
+  }
+  const auto a = testutil::convert<TypeParam>(ad);
+  auto cfg = vec_config();
+  cfg.auto_scale = true;
+  const auto rep = svd_report<TypeParam>(a.view(), cfg);
+  EXPECT_NE(rep.scale_factor, 1.0);
+  expect_valid_svd<TypeParam>(a.view(), rep, SvdJob::Thin, "auto-scaled");
+}
+
+TEST(SvdVectors, KnownSpectrumAndJacobiCrossValidation) {
+  const index_t n = 48;
+  rnd::Xoshiro256 rng(77);
+  const auto sigma = rnd::make_spectrum(rnd::Spectrum::Logarithmic, n);
+  const auto a = rnd::matrix_with_spectrum(sigma, rng);
+  const auto rep = svd_report<double>(a.view(), vec_config());
+  EXPECT_LT(ref::rel_sv_error(rep.values, sigma), 1e-12);
+  const auto jac = baseline::jacobi_svdvals(a.view());
+  EXPECT_LT(ref::rel_sv_error(rep.values, jac), 1e-11);
+  expect_valid_svd<double>(a.view(), rep, SvdJob::Thin, "spectrum 48");
+}
+
+TEST(SvdVectors, JacobiCrossValidationRectangular) {
+  rnd::Xoshiro256 rng(78);
+  const auto sigma = rnd::arithmetic_spectrum(16);
+  const auto a = rnd::rect_matrix_with_spectrum(40, 16, sigma, rng);
+  const auto rep = svd_report<double>(a.view(), vec_config());
+  EXPECT_LT(ref::rel_sv_error(rep.values, sigma), 1e-11);
+  expect_valid_svd<double>(a.view(), rep, SvdJob::Thin, "rect spectrum 40x16");
+}
+
+TEST(SvdVectors, RankDeficientReconstructs) {
+  const index_t n = 24;
+  rnd::Xoshiro256 rng(79);
+  Matrix<double> a(n, n, 0.0);
+  std::vector<double> u(static_cast<std::size_t>(n));
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : u) x = rng.normal();
+  for (auto& x : v) x = rng.normal();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      a(i, j) = u[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(j)];
+    }
+  }
+  const auto rep = svd_report<double>(a.view(), vec_config());
+  expect_valid_svd<double>(a.view(), rep, SvdJob::Thin, "rank-1");
+  for (std::size_t i = 1; i < rep.values.size(); ++i) {
+    EXPECT_LT(rep.values[i], 1e-10 * rep.values[0]);
+  }
+}
+
+TEST(SvdVectors, ZeroMatrixGivesOrthogonalFactors) {
+  Matrix<double> z(16, 16, 0.0);
+  const auto rep = svd_report<double>(z.view(), vec_config());
+  for (double s : rep.values) EXPECT_EQ(s, 0.0);
+  EXPECT_LT(ref::orthogonality_defect(rep.u.view()), 1e-14);
+  EXPECT_LT(ref::orthogonality_defect(rep.vt.view().transposed()), 1e-14);
+}
+
+TEST(SvdVectors, OneByOne) {
+  Matrix<double> a(1, 1);
+  a(0, 0) = -2.25;
+  const auto out = svd<double>(a.view(), vec_config());
+  ASSERT_EQ(out.values.size(), 1u);
+  EXPECT_NEAR(out.values[0], 2.25, 1e-15);
+  // u * sigma * vt must reproduce the NEGATIVE entry.
+  EXPECT_NEAR(out.u(0, 0) * out.values[0] * out.vt(0, 0), -2.25, 1e-12);
+}
+
+TEST(SvdVectors, VectorAccumulationStageIsTimed) {
+  const auto a = testutil::random_matrix(32, 32, 510);
+  const auto with = svd_report<double>(a.view(), vec_config());
+  EXPECT_GT(with.stage_times.get(ka::Stage::VectorAccumulation), 0.0);
+  const auto without = svd_values_report<double>(a.view(), vec_config(SvdJob::ValuesOnly));
+  EXPECT_EQ(without.stage_times.get(ka::Stage::VectorAccumulation), 0.0);
+  EXPECT_EQ(without.u.rows(), 0);
+  EXPECT_EQ(without.vt.rows(), 0);
+}
+
+TEST(SvdVectors, DeterministicAcrossThreadCounts) {
+  const auto a = testutil::random_matrix(40, 40, 511);
+  ka::CpuBackend be1(1);
+  ka::CpuBackend be8(8);
+  const auto r1 = svd_report<double>(a.view(), vec_config(), be1);
+  const auto r8 = svd_report<double>(a.view(), vec_config(), be8);
+  for (std::size_t i = 0; i < r1.values.size(); ++i) {
+    EXPECT_EQ(r1.values[i], r8.values[i]);
+  }
+  EXPECT_EQ(ref::fro_diff(r1.u.view(), r8.u.view()), 0.0);
+  EXPECT_EQ(ref::fro_diff(r1.vt.view(), r8.vt.view()), 0.0);
+}
+
+TEST(SvdVectorsBatched, IsolateKeepsHealthyVectorsValid) {
+  // The batched acceptance scenario: ragged batch with one poisoned problem
+  // under Isolate; every healthy problem gets valid factors, the poisoned
+  // one an empty report with NonFinite status. All schedules agree.
+  std::vector<Matrix<float>> problems;
+  problems.push_back(testutil::convert<float>(testutil::random_matrix(24, 24, 700)));
+  problems.push_back(testutil::convert<float>(testutil::random_matrix(40, 16, 701)));
+  problems.push_back(testutil::convert<float>(testutil::random_matrix(16, 16, 702)));
+  problems.push_back(testutil::convert<float>(testutil::random_matrix(48, 48, 703)));
+  problems[2](3, 3) = std::numeric_limits<float>::quiet_NaN();
+  const auto views = testutil::views_of(problems);
+  ka::CpuBackend backend(4);
+
+  for (const auto schedule : {BatchSchedule::Auto, BatchSchedule::InterProblem,
+                              BatchSchedule::IntraProblem, BatchSchedule::Mixed}) {
+    BatchConfig cfg;
+    cfg.svd = vec_config();
+    cfg.schedule = schedule;
+    cfg.crossover_n = 32;
+    cfg.on_error = ErrorPolicy::Isolate;
+    const auto rep = svd_batched_report<float>(views, cfg, backend);
+    ASSERT_EQ(rep.reports.size(), problems.size());
+    EXPECT_FALSE(rep.all_ok());
+    EXPECT_EQ(rep.failed_count(), 1u);
+    for (std::size_t p = 0; p < problems.size(); ++p) {
+      if (p == 2) {
+        EXPECT_EQ(rep.reports[p].status, SvdStatus::NonFinite);
+        EXPECT_EQ(rep.reports[p].u.rows(), 0);
+        EXPECT_EQ(rep.reports[p].vt.rows(), 0);
+        EXPECT_TRUE(rep.reports[p].values.empty());
+        continue;
+      }
+      EXPECT_EQ(rep.reports[p].status, SvdStatus::Ok);
+      expect_valid_svd<float>(views[p], rep.reports[p], SvdJob::Thin, "batched");
+      // Identical to the single-problem solve, whichever schedule ran.
+      const auto single = svd_report<float>(views[p], cfg.svd);
+      ASSERT_EQ(single.values.size(), rep.reports[p].values.size());
+      for (std::size_t i = 0; i < single.values.size(); ++i) {
+        EXPECT_EQ(single.values[i], rep.reports[p].values[i]);
+      }
+      EXPECT_EQ(ref::fro_diff(single.u.view(), rep.reports[p].u.view()), 0.0);
+      EXPECT_EQ(ref::fro_diff(single.vt.view(), rep.reports[p].vt.view()), 0.0);
+    }
+  }
+}
+
+TEST(SvdVectorsBatched, StorageConversionShapes) {
+  std::vector<Matrix<Half>> problems;
+  problems.push_back(testutil::convert<Half>(testutil::random_matrix(16, 16, 710)));
+  problems.push_back(testutil::convert<Half>(testutil::random_matrix(24, 12, 711)));
+  const auto views = testutil::views_of(problems);
+  BatchConfig cfg;
+  cfg.svd = vec_config();
+  const auto out = svd_batched<Half>(views, cfg);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].u.rows(), 16);
+  EXPECT_EQ(out[0].u.cols(), 16);
+  EXPECT_EQ(out[1].u.rows(), 24);
+  EXPECT_EQ(out[1].u.cols(), 12);
+  EXPECT_EQ(out[1].vt.rows(), 12);
+  EXPECT_EQ(out[1].vt.cols(), 12);
+  EXPECT_EQ(out[0].values.size(), 16u);
+  EXPECT_EQ(out[1].values.size(), 12u);
+}
+
+// ---- Stage-3 stagnation rescue (deterministic) ----
+//
+// The rescue path — bisection values + double-precision re-iteration for
+// the rotations — normally fires only when reduced precision stagnates.
+// Pin it by calling the iteration core with max_sweeps == 1: every block
+// hits the budget immediately, so ALL vectors flow through the rescue
+// (including the OffsetRotationSink block-offset path when a zero coupling
+// splits the bidiagonal into blocks with l > 0).
+
+#include "bidiag/bidiag_qr.hpp"
+
+namespace {
+
+/// Run the iteration core on (d, e) with the given sweep budget, vectors
+/// accumulated; return max of reconstruction error ||B - Ut^T diag(w) Vt||
+/// and the two orthogonality defects (all Frobenius, computed in double).
+template <class CT>
+double rescue_path_error(std::vector<CT> d, std::vector<CT> e, int max_sweeps) {
+  const index_t n = static_cast<index_t>(d.size());
+  Matrix<double> b(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    b(i, i) = static_cast<double>(d[static_cast<std::size_t>(i)]);
+    if (i + 1 < n) b(i, i + 1) = static_cast<double>(e[static_cast<std::size_t>(i)]);
+  }
+
+  std::vector<CT> w = d;
+  std::vector<CT> rv1(static_cast<std::size_t>(n), CT(0));
+  for (index_t i = 1; i < n; ++i) {
+    rv1[static_cast<std::size_t>(i)] = e[static_cast<std::size_t>(i - 1)];
+  }
+  Matrix<CT> ut(n, n, CT(0));
+  Matrix<CT> vt(n, n, CT(0));
+  for (index_t i = 0; i < n; ++i) ut(i, i) = vt(i, i) = CT(1);
+  auto utv = ut.view();
+  auto vtv = vt.view();
+  bidiag::detail::MatrixRotationSink<CT> sink{utv, vtv};
+  bidiag::detail::golub_reinsch_iterate(w, rv1, sink, max_sweeps);
+
+  // Reconstruction: B ?= Ut^T diag(w) Vt (iteration order, unsorted).
+  Matrix<double> recon(n, n, 0.0);
+  for (index_t r = 0; r < n; ++r) {
+    const double s = static_cast<double>(w[static_cast<std::size_t>(r)]);
+    for (index_t j = 0; j < n; ++j) {
+      const double vs = s * static_cast<double>(vt(r, j));
+      for (index_t i = 0; i < n; ++i) {
+        recon(i, j) += static_cast<double>(ut(r, i)) * vs;
+      }
+    }
+  }
+  const Matrix<double>& bc = b;
+  double err = ref::fro_diff(bc.view(), ConstMatrixView<double>(recon.view()));
+  err = std::max(err, ref::orthogonality_defect(ut.view().transposed()));
+  err = std::max(err, ref::orthogonality_defect(vt.view().transposed()));
+  return err;
+}
+
+}  // namespace
+
+TEST(SvdVectorsRescue, BudgetOfOneForcesRescueOnWholeMatrix) {
+  // No negligible couplings: the first stagnating block spans l == 0.
+  std::vector<double> d{3.0, -1.5, 0.75, 2.25, -0.5, 1.0};
+  std::vector<double> e{0.5, 0.25, -1.0, 0.125, 0.375};
+  EXPECT_LT(rescue_path_error(d, e, 1), 1e-12);
+  // Sanity: the same input converges normally with the real budget.
+  EXPECT_LT(rescue_path_error(d, e, bidiag::detail::kMaxSweeps), 1e-12);
+}
+
+TEST(SvdVectorsRescue, ZeroCouplingExercisesBlockOffset) {
+  // e[3] == 0 splits [0,3] and [4,7]: the second block rescues with l > 0,
+  // driving OffsetRotationSink's row-offset mapping.
+  std::vector<double> d{2.0, 1.0, -3.0, 0.5, 4.0, -0.25, 1.5, 0.875};
+  std::vector<double> e{0.5, -0.75, 0.25, 0.0, 1.0, 0.5, -0.125};
+  EXPECT_LT(rescue_path_error(d, e, 1), 1e-12);
+}
+
+TEST(SvdVectorsRescue, Fp32RescueMatchesValuesOnlyBits) {
+  // In CT = float the rescued values must still be bit-identical to the
+  // values-only path under the same (tiny) budget: both take them from the
+  // same bisection call.
+  std::vector<float> d{2.0f, 1.0f, -3.0f, 0.5f, 4.0f, -0.25f};
+  std::vector<float> e{0.5f, -0.75f, 0.25f, 1.0f, 0.5f};
+  EXPECT_LT(rescue_path_error(d, e, 1), 1e-4);
+
+  std::vector<float> w_vec = d;
+  std::vector<float> rv_vec(d.size(), 0.0f);
+  for (std::size_t i = 1; i < d.size(); ++i) rv_vec[i] = e[i - 1];
+  Matrix<float> ut(6, 6, 0.0f);
+  Matrix<float> vt(6, 6, 0.0f);
+  for (index_t i = 0; i < 6; ++i) ut(i, i) = vt(i, i) = 1.0f;
+  auto utv = ut.view();
+  auto vtv = vt.view();
+  bidiag::detail::MatrixRotationSink<float> sink{utv, vtv};
+  bidiag::detail::golub_reinsch_iterate(w_vec, rv_vec, sink, 1);
+
+  std::vector<float> w_plain = d;
+  std::vector<float> rv_plain(d.size(), 0.0f);
+  for (std::size_t i = 1; i < d.size(); ++i) rv_plain[i] = e[i - 1];
+  bidiag::detail::NullRotationSink null_sink;
+  bidiag::detail::golub_reinsch_iterate(w_plain, rv_plain, null_sink, 1);
+
+  for (std::size_t i = 0; i < w_vec.size(); ++i) {
+    EXPECT_EQ(w_vec[i], w_plain[i]) << "i=" << i;
+  }
+}
