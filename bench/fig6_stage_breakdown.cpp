@@ -91,8 +91,9 @@ int main() {
       "\nExpected shape (paper Fig. 6): stage-1 (panel+trailing) share grows\n"
       "with n; the trailing/panel ratio grows with n, saturating earlier on\n"
       "GPUs with fewer multiprocessors (RTX4060). Vector accumulation (the\n"
-      "extension) rides the Stage-1 launch path; note Stage-2/3 totals also\n"
-      "grow with vectors on (their accumulator rotations are folded into the\n"
-      "band2bi/bi2diag timers, which wrap whole stages).\n");
+      "extension) owns ALL vector work: the Stage-1 accumulator launches AND\n"
+      "the Stage-2/3 accumulator rotations (split out of the band2bi/bi2diag\n"
+      "timers via their acc_seconds out-params), so band2bi/bi2diag stay\n"
+      "comparable between values-only and vector jobs.\n");
   return 0;
 }

@@ -1,0 +1,124 @@
+/// Rank-k throughput: randomized truncated SVD (src/rsvd) vs the dense
+/// pipeline with SvdJob::Thin — the speedup that motivates the subsystem
+/// (PCA scores, LoRA rank selection and low-rank compression only need the
+/// top k singular triplets).
+///
+/// Usage: bench_rank_k_throughput [m] [n] [rank] [repeats]
+///
+/// Defaults reproduce the acceptance case: a 2048 x 256 FP32 tall matrix at
+/// rank 32, where svd_truncated must run >= 3x faster than svd(Thin) while
+/// staying within the sigma-tail error bound. A second table sweeps the
+/// rank to show where the crossover to the dense path sits, and a third
+/// compares precisions at the acceptance shape.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/linalg_ref.hpp"
+#include "core/svd.hpp"
+#include "rand/matrix_gen.hpp"
+#include "rand/rng.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <class F>
+double best_of(int repeats, F&& f) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double t0 = now_seconds();
+    f();
+    const double dt = now_seconds() - t0;
+    best = r == 0 ? dt : std::min(best, dt);
+  }
+  return best;
+}
+
+template <class T>
+void run_case(const Matrix<double>& a64, const std::vector<double>& sigma,
+              index_t rank, int repeats, const char* tag) {
+  const Matrix<T> a = rnd::round_to<T>(a64);
+
+  TruncConfig tc;
+  tc.rank = rank;
+  TruncReport trep;
+  const double t_rsvd = best_of(repeats, [&] {
+    trep = svd_truncated_report<T>(a.view(), tc);
+  });
+
+  SvdConfig dc;
+  dc.job = SvdJob::Thin;
+  SvdReport drep;
+  const double t_dense = best_of(repeats, [&] {
+    drep = svd_values_report<T>(a.view(), dc);
+  });
+
+  double tail2 = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(rank); i < sigma.size(); ++i) {
+    tail2 += sigma[i] * sigma[i];
+  }
+  const double optimal = std::sqrt(tail2);
+  const double resid =
+      ref::rank_k_residual_fro(a64.view(), trep.u, trep.values, trep.vt, trep.rank);
+  const double ratio = optimal > 0.0 ? resid / optimal : 0.0;
+
+  std::printf("  %-5s %6lld %10.1f %10.1f %8.2fx %11.3e %9.2f\n", tag,
+              static_cast<long long>(rank), 1e3 * t_rsvd, 1e3 * t_dense,
+              t_dense / t_rsvd, resid, ratio);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t m = argc > 1 ? std::atoll(argv[1]) : 2048;
+  const index_t n = argc > 2 ? std::atoll(argv[2]) : 256;
+  const index_t rank = argc > 3 ? std::atoll(argv[3]) : 32;
+  const int repeats = argc > 4 ? std::atoi(argv[4]) : 1;
+
+  std::printf(
+      "Rank-k throughput: randomized truncated SVD vs dense SvdJob::Thin\n"
+      "matrix %lld x %lld, decaying spectrum (strong ranks = requested k)\n\n",
+      static_cast<long long>(m), static_cast<long long>(n));
+
+  const index_t minmn = std::min(m, n);
+  std::vector<double> sigma(static_cast<std::size_t>(minmn));
+  for (index_t i = 0; i < minmn; ++i) {
+    sigma[static_cast<std::size_t>(i)] = std::max(
+        std::pow(10.0, -2.0 * static_cast<double>(i) / static_cast<double>(rank)),
+        1e-4);
+  }
+  rnd::Xoshiro256 rng(2025);
+  const Matrix<double> a64 = rnd::rect_matrix_with_spectrum(m, n, sigma, rng);
+
+  std::printf("  %-5s %6s %10s %10s %9s %11s %9s\n", "prec", "rank", "rsvd ms",
+              "dense ms", "speedup", "resid_F", "vs opt");
+
+  // Acceptance case across precisions at the requested rank.
+  run_case<float>(a64, sigma, rank, repeats, "FP32");
+  run_case<Half>(a64, sigma, rank, repeats, "FP16");
+  run_case<double>(a64, sigma, rank, repeats, "FP64");
+
+  // Rank sweep (FP32): where the randomized path stops paying off.
+  std::printf("\nFP32 rank sweep:\n");
+  std::printf("  %-5s %6s %10s %10s %9s %11s %9s\n", "prec", "rank", "rsvd ms",
+              "dense ms", "speedup", "resid_F", "vs opt");
+  for (index_t k = 8; k <= minmn / 2; k *= 2) {
+    run_case<float>(a64, sigma, k, repeats, "FP32");
+  }
+
+  std::printf(
+      "\nExpected: >= 3x speedup at the default 2048x256 FP32 rank-32 case\n"
+      "(the ISSUE acceptance gate), residuals within ~1.5x of the optimal\n"
+      "rank-k error, and the advantage growing with m/rank.\n");
+  return 0;
+}

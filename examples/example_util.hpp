@@ -9,6 +9,7 @@ namespace example_util {
 using unisvd::ConstMatrixView;
 using unisvd::Matrix;
 using unisvd::SvdReport;
+using unisvd::TruncReport;
 using unisvd::index_t;
 
 /// || X - U_k diag(s_k) Vt_k ||_F / || X ||_F: rank-k reconstruction
@@ -18,18 +19,44 @@ using unisvd::index_t;
 /// B = sqrt(S_k) V_k^T.
 inline double rank_k_residual(const Matrix<double>& x, const SvdReport& rep,
                               index_t k) {
-  Matrix<double> us(rep.u.rows(), k);
-  for (index_t j = 0; j < k; ++j) {
-    const double s = rep.values[static_cast<std::size_t>(j)];
-    for (index_t i = 0; i < us.rows(); ++i) us(i, j) = rep.u(i, j) * s;
-  }
-  // First k rows of vt as a view (column-major: same data, shorter column).
-  const ConstMatrixView<double> vt_k(rep.vt.data(), k, rep.vt.cols(), rep.vt.rows());
-  const Matrix<double> recon =
-      unisvd::ref::matmul(ConstMatrixView<double>(us.view()), vt_k);
   const double denom = unisvd::ref::fro_norm(x.view());
-  const double diff = unisvd::ref::fro_diff(x.view(), recon.view());
+  const double diff =
+      unisvd::ref::rank_k_residual_fro(x.view(), rep.u, rep.values, rep.vt, k);
   return denom == 0.0 ? diff : diff / denom;
+}
+
+/// rank_k_residual over a randomized truncated report (same metric; the
+/// factor layout matches, only the report type differs). k must be <=
+/// rep.rank.
+inline double trunc_rank_k_residual(const Matrix<double>& x, const TruncReport& rep,
+                                    index_t k) {
+  const double denom = unisvd::ref::fro_norm(x.view());
+  const double diff =
+      unisvd::ref::rank_k_residual_fro(x.view(), rep.u, rep.values, rep.vt, k);
+  return denom == 0.0 ? diff : diff / denom;
+}
+
+/// Chordal distance between the span of the first `top` rows of two
+/// transposed right-factor matrices: || Va Va^T - Vb Vb^T ||_F over the
+/// feature-space projectors. Near zero means both factorizations found the
+/// same principal subspace (the metric the PCA and LoRA examples report).
+inline double subspace_distance(const Matrix<double>& vta, const Matrix<double>& vtb,
+                                index_t top) {
+  const index_t n = std::min(vta.cols(), vtb.cols());
+  const index_t r = std::min({top, vta.rows(), vtb.rows()});
+  double s = 0.0;
+  for (index_t a = 0; a < n; ++a) {
+    for (index_t b = 0; b < n; ++b) {
+      double pa = 0.0;
+      double pb = 0.0;
+      for (index_t k = 0; k < r; ++k) {
+        pa += vta(k, a) * vta(k, b);
+        pb += vtb(k, a) * vtb(k, b);
+      }
+      s += (pa - pb) * (pa - pb);
+    }
+  }
+  return std::sqrt(s);
 }
 
 }  // namespace example_util

@@ -1,15 +1,19 @@
 /// LoRA-style rank selection — the machine-learning motivation from the
-/// paper's introduction: low-rank adaptation needs the singular spectrum of
-/// weight matrices to pick an adapter rank that retains a target fraction
-/// of the spectral energy, increasingly in reduced precision.
+/// paper's introduction, now on the randomized truncated SVD (src/rsvd):
+/// adapter construction needs only the top of the spectrum, so the
+/// tolerance-driven adaptive-rank mode of svd_truncated finds the adapter
+/// rank AND materializes the factors without ever paying for the full
+/// factorization.
 ///
 /// This example builds a synthetic "attention projection" weight matrix
-/// with a realistic heavy-tailed spectrum plus noise, computes its full SVD
-/// (U, Sigma, V^T) with the unified solver in FP32 and FP16, selects the
-/// rank retaining 90% / 95% / 99% of the energy, and materializes the REAL
-/// LoRA adapter factors A = U_r sqrt(S_r), B = sqrt(S_r) V_r^T — verifying
-/// the achieved reconstruction error || W - A B ||_F / || W ||_F matches
-/// the energy target in both precisions.
+/// with a realistic heavy-tailed spectrum plus noise, then in FP32 and
+/// FP16:
+///   * runs svd_truncated in adaptive mode (tol picks the rank where the
+///     spectrum falls below 3% of sigma_1),
+///   * materializes the REAL LoRA factors A = U_r sqrt(S_r),
+///     B = sqrt(S_r) V_r^T and verifies || W - A B ||_F / || W ||_F,
+///   * compares rank choice, adapter residual, subspace and runtime against
+///     the dense SvdJob::Thin path.
 
 #include <cmath>
 #include <cstdio>
@@ -25,7 +29,8 @@ using namespace unisvd;
 namespace {
 
 /// Rank needed so that sum of sigma_i^2 over the first r values reaches
-/// `fraction` of the total.
+/// `fraction` of the total (evaluated on the DENSE spectrum — the oracle
+/// the truncated path is compared against).
 index_t rank_for_energy(const std::vector<double>& sv, double fraction) {
   double total = 0.0;
   for (double s : sv) total += s * s;
@@ -41,8 +46,11 @@ index_t rank_for_energy(const std::vector<double>& sv, double fraction) {
 
 int main(int argc, char** argv) {
   const index_t n = argc > 1 ? std::atoll(argv[1]) : 512;
-  std::printf("LoRA rank selection on a synthetic %lld x %lld weight matrix\n",
-              static_cast<long long>(n), static_cast<long long>(n));
+  const double tol = 0.03;  // keep components above 3% of sigma_1
+  std::printf(
+      "LoRA rank selection on a synthetic %lld x %lld weight matrix\n"
+      "adaptive svd_truncated (tol %.0f%% of sigma_1) vs dense SvdJob::Thin\n",
+      static_cast<long long>(n), static_cast<long long>(n), 100.0 * tol);
 
   // Power-law spectrum (trained-weight-like) + small isotropic noise floor.
   std::vector<double> sigma(static_cast<std::size_t>(n));
@@ -56,38 +64,58 @@ int main(int argc, char** argv) {
   const auto report = [&](auto tag, const char* name) {
     using T = decltype(tag);
     const Matrix<T> w = rnd::round_to<T>(w64);
-    SvdConfig cfg;
-    cfg.job = SvdJob::Thin;  // adapters need the real factors
-    const auto rep = svd_report<T>(w.view(), cfg);
-    std::printf("\n%s storage (%.1f ms total, %.1f ms vector accumulation)\n", name,
-                1e3 * rep.stage_times.total(),
-                1e3 * rep.stage_times.get(ka::Stage::VectorAccumulation));
-    std::printf("  %-18s %6s %22s\n", "energy target", "rank", "adapter ||W-AB||/||W||");
+
+    TruncConfig tcfg;
+    tcfg.rank = 64;  // initial sketch guess; the tolerance drives the rank
+    tcfg.tol = tol;
+    const auto trep = svd_truncated_report<T>(w.view(), tcfg);
+
+    SvdConfig dcfg;
+    dcfg.job = SvdJob::Thin;  // dense reference
+    const auto drep = svd_report<T>(w.view(), dcfg);
+
+    const double t_trunc = trep.stage_times.total();
+    const double t_dense = drep.stage_times.total();
+    std::printf(
+        "\n%s: adaptive truncated %.0f ms vs dense %.0f ms -> %.1fx speedup\n"
+        "  chose rank %lld (sketch %lld cols, %d growth rounds, "
+        "sigma_tail/sigma_1 = %.3f)\n",
+        name, 1e3 * t_trunc, 1e3 * t_dense, t_dense / t_trunc,
+        static_cast<long long>(trep.rank),
+        static_cast<long long>(trep.sketch_cols), trep.adaptive_rounds,
+        trep.sigma_tail / trep.values[0]);
+
+    // The materialized adapter: A = U_r sqrt(S_r), B = sqrt(S_r) V_r^T;
+    // the reported residual is exactly || W - A B || / || W ||.
+    std::printf("  adapter residual || W - A B || / || W ||: %.4f\n",
+                example_util::trunc_rank_k_residual(w64, trep, trep.rank));
+
+    // Energy view: where the truncated rank lands on the dense profile.
+    std::printf("  dense-oracle energy ranks:  ");
     for (double frac : {0.90, 0.95, 0.99}) {
-      const index_t r = rank_for_energy(rep.values, frac);
-      std::printf("  retain %2.0f%%        %6lld %21.4f\n", 100.0 * frac,
-                  static_cast<long long>(r),
-                  example_util::rank_k_residual(w64, rep, r));
+      std::printf("%2.0f%% -> %-5lld", 100.0 * frac,
+                  static_cast<long long>(rank_for_energy(drep.values, frac)));
     }
-    return rep;
+    std::printf("\n");
+
+    // Truncated vs dense subspace agreement over the well-separated head
+    // (the full adapter span includes noise-degenerate tail directions
+    // whose individual vectors are not unique — the head is the fair test).
+    const index_t head = std::min<index_t>(16, trep.rank);
+    std::printf("  truncated-vs-dense subspace distance (top %lld): %.3e\n",
+                static_cast<long long>(head),
+                example_util::subspace_distance(trep.vt, drep.vt, head));
+    return trep;
   };
 
   const auto rep32 = report(float{}, "FP32");
   const auto rep16 = report(Half{}, "FP16");
 
-  // Agreement of the selected ranks across precisions.
-  std::printf("\nFP16 vs FP32 rank agreement:\n");
-  for (double frac : {0.90, 0.95, 0.99}) {
-    const auto r32 = rank_for_energy(rep32.values, frac);
-    const auto r16 = rank_for_energy(rep16.values, frac);
-    std::printf("  %2.0f%%: FP32 -> %-5lld FP16 -> %-5lld (delta %+lld)\n",
-                100.0 * frac, static_cast<long long>(r32),
-                static_cast<long long>(r16), static_cast<long long>(r16 - r32));
-  }
   std::printf(
-      "\nTakeaway (paper §1): half-precision singular spectra — and now the\n"
-      "adapter factors themselves — are accurate enough to drive LoRA rank\n"
-      "choices at half the memory cost; the achieved ||W - AB|| tracks the\n"
-      "energy target, sqrt(1 - frac), in both precisions.\n");
+      "\nFP16 vs FP32 adaptive rank: %lld vs %lld\n"
+      "Takeaway (paper §1): the randomized adaptive path picks the adapter\n"
+      "rank AND materializes A, B at a fraction of the dense cost — and\n"
+      "half-precision storage still lands on the same rank and subspace.\n",
+      static_cast<long long>(rep16.rank), static_cast<long long>(rep32.rank));
   return 0;
 }

@@ -55,13 +55,20 @@ struct ChaseStats {
 /// with or without accumulators, so d/e — and the singular values — stay
 /// bit-identical. Identity rotations (c == 1, s == 0), which the padding
 /// region produces in bulk, skip the accumulator update (an exact no-op).
+///
+/// When `acc_seconds` is non-null, the wall clock the accumulator updates
+/// consume is added to it — the pipeline driver subtracts that share from
+/// the Stage-2 stopwatch and books it under Stage::VectorAccumulation, so
+/// the Figure 6 breakdown attributes vector work to the vector stage.
 template <class CT>
 ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>& e,
                           MatrixView<CT>* ut = nullptr,
-                          MatrixView<CT>* vt = nullptr) {
+                          MatrixView<CT>* vt = nullptr,
+                          double* acc_seconds = nullptr) {
   const index_t n = b.n();
   const index_t bw = b.bandwidth();
   ChaseStats stats;
+  const AccTimer acc_timer(acc_seconds);
 
   auto rotate_cols = [&](index_t c1, index_t c2, index_t ilo, index_t ihi, CT c, CT s) {
     for (index_t i = ilo; i <= ihi; ++i) {
@@ -73,7 +80,7 @@ ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>
       v = nv;
     }
     if (vt != nullptr && !(c == CT(1) && s == CT(0))) {
-      apply_givens_rows(*vt, c1, c2, c, s);
+      acc_timer.timed([&] { apply_givens_rows(*vt, c1, c2, c, s); });
     }
     stats.rotations += 1.0;
     stats.rotated_elems += static_cast<double>(ihi - ilo + 1);
@@ -88,7 +95,7 @@ ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>
       v = nv;
     }
     if (ut != nullptr && !(c == CT(1) && s == CT(0))) {
-      apply_givens_rows(*ut, r1, r2, c, s);
+      acc_timer.timed([&] { apply_givens_rows(*ut, r1, r2, c, s); });
     }
     stats.rotations += 1.0;
     stats.rotated_elems += static_cast<double>(jhi - jlo + 1);

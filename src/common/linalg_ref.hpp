@@ -105,6 +105,51 @@ Matrix<double> to_double(ConstMatrixView<T> a) {
   return out;
 }
 
+/// Largest absolute element, in double (any storage type).
+template <class T>
+double max_abs(ConstMatrixView<T> a) {
+  double mx = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      mx = std::max(mx, std::abs(static_cast<double>(a.at(i, j))));
+    }
+  }
+  return mx;
+}
+
+/// The auto_scale policy shared by the dense and randomized pipelines:
+/// divisor bringing the largest magnitude to ~1 when it sits outside
+/// [0.25, 4], else 1.0 (no scaling). ONE definition so the two paths can
+/// never disagree on scale_factor for the same input.
+template <class T>
+double auto_scale_divisor(ConstMatrixView<T> a) {
+  const double amax = max_abs(a);
+  return amax > 0.0 && (amax > 4.0 || amax < 0.25) ? amax : 1.0;
+}
+
+/// || A - U[:, :k] diag(values[:k]) Vt[:k, :] ||_F with double-held factors
+/// (the SvdReport / TruncReport layout) — the rank-k reconstruction metric
+/// shared by the truncated-SVD tests, bench gate and tuner accuracy gate.
+inline double rank_k_residual_fro(ConstMatrixView<double> a,
+                                  const Matrix<double>& u,
+                                  const std::vector<double>& values,
+                                  const Matrix<double>& vt, index_t k) {
+  UNISVD_REQUIRE(k <= u.cols() && k <= vt.rows() &&
+                     static_cast<std::size_t>(k) <= values.size(),
+                 "rank_k_residual_fro: k exceeds the factor extents");
+  Matrix<double> recon(a.rows(), a.cols(), 0.0);
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t kk = 0; kk < k; ++kk) {
+      const double sv = values[static_cast<std::size_t>(kk)] * vt(kk, j);
+      if (sv == 0.0) continue;
+      for (index_t i = 0; i < a.rows(); ++i) {
+        recon(i, j) += u(i, kk) * sv;
+      }
+    }
+  }
+  return fro_diff(a, ConstMatrixView<double>(recon.view()));
+}
+
 /// True when every element of the view is finite.
 template <class T>
 bool all_finite(ConstMatrixView<T> a) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -28,26 +29,24 @@ namespace {
 /// min_inter_problems at or below it (a queue worth draining
 /// inter-problem). Requires a usable pool; results are schedule-invariant,
 /// so the promotion only changes the mapping onto threads.
-template <class T>
-[[nodiscard]] bool auto_prefers_mixed(std::span<const ConstMatrixView<T>> batch,
+[[nodiscard]] bool auto_prefers_mixed(const std::vector<index_t>& extents,
                                       const BatchConfig& config,
                                       ka::Backend& backend) {
   if (!pool_usable(backend)) return false;
   std::size_t small = 0;
   std::size_t large = 0;
-  for (const auto& a : batch) {
-    (extent(a) <= config.crossover_n ? small : large) += 1;
+  for (const index_t e : extents) {
+    (e <= config.crossover_n ? small : large) += 1;
   }
   return large >= 1 && small >= config.min_inter_problems;
 }
 
 /// Resolve Auto/Mixed per problem; demote pool-based schedules when the
 /// backend cannot spread problems (no pool, or a pool of width 1).
-template <class T>
-std::vector<BatchSchedule> resolve_schedules(std::span<const ConstMatrixView<T>> batch,
+std::vector<BatchSchedule> resolve_schedules(const std::vector<index_t>& extents,
                                              const BatchConfig& config,
                                              ka::Backend& backend) {
-  std::vector<BatchSchedule> schedules(batch.size(), BatchSchedule::IntraProblem);
+  std::vector<BatchSchedule> schedules(extents.size(), BatchSchedule::IntraProblem);
   if (!pool_usable(backend)) return schedules;
 
   if (config.schedule == BatchSchedule::InterProblem) {
@@ -59,89 +58,64 @@ std::vector<BatchSchedule> resolve_schedules(std::span<const ConstMatrixView<T>>
   if (config.schedule == BatchSchedule::Mixed) {
     // Everything is slot resident; problems above the crossover run with
     // their kernel launches published for work stealing.
-    for (std::size_t p = 0; p < batch.size(); ++p) {
-      schedules[p] = extent(batch[p]) <= config.crossover_n
-                         ? BatchSchedule::InterProblem
-                         : BatchSchedule::Mixed;
+    for (std::size_t p = 0; p < extents.size(); ++p) {
+      schedules[p] = extents[p] <= config.crossover_n ? BatchSchedule::InterProblem
+                                                      : BatchSchedule::Mixed;
     }
     return schedules;
   }
 
   std::size_t small = 0;
-  for (const auto& a : batch) {
-    if (extent(a) <= config.crossover_n) ++small;
+  for (const index_t e : extents) {
+    if (e <= config.crossover_n) ++small;
   }
   if (small < config.min_inter_problems) return schedules;
-  for (std::size_t p = 0; p < batch.size(); ++p) {
-    if (extent(batch[p]) <= config.crossover_n) {
+  for (std::size_t p = 0; p < extents.size(); ++p) {
+    if (extents[p] <= config.crossover_n) {
       schedules[p] = BatchSchedule::InterProblem;
     }
   }
   return schedules;
 }
 
-/// Solve problem `p` into `out`, classifying failures instead of leaking
-/// exceptions. Under ErrorPolicy::Throw a failure is rethrown as
-/// unisvd::Error after being recorded (the report is discarded by the
-/// unwind anyway); under Isolate it stays in the report.
-template <class T>
-void solve_problem(std::span<const ConstMatrixView<T>> batch, std::size_t p,
-                   const BatchConfig& config, ka::Backend& backend, SvdReport& out) {
-  const ConstMatrixView<T>& a = batch[p];
-  std::string reason;
-  if (a.rows() < 1 || a.cols() < 1) {
-    out.status = SvdStatus::InvalidInput;
-    reason = "matrix must be non-empty";
-  } else if (config.svd.check_finite && !ref::all_finite(a)) {
-    out.status = SvdStatus::NonFinite;
-    reason = "input contains NaN or Inf";
-  } else {
-    try {
-      SvdConfig cfg = config.svd;
-      cfg.check_finite = false;  // verified above; skip the second scan
-      out = svd_values_report<T>(a, cfg, backend);
-    } catch (const std::exception& e) {
-      out = SvdReport{};
-      out.status = SvdStatus::InternalError;
-      reason = e.what();
-    }
-  }
-  if (out.status != SvdStatus::Ok) {
-    out.values.clear();
-    out.status_message = "svd_values_batched: problem " + std::to_string(p) + ": " +
-                         reason + " [" + to_string(out.status) + "]";
-    if (config.on_error == ErrorPolicy::Throw) throw Error(out.status_message);
-  }
-}
+/// Scheduling outcome of one engine run (everything a batched report needs
+/// besides the per-problem payloads the solver callback wrote).
+struct ScheduledRun {
+  std::vector<BatchSchedule> schedules;
+  std::size_t threads_used = 0;
+  double seconds = 0.0;
+};
 
-}  // namespace
-
-template <class T>
-BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
-                                      const BatchConfig& original_config,
-                                      ka::Backend& backend) {
-  original_config.validate();
-  UNISVD_REQUIRE(backend.executes(),
-                 "svd_values_batched: backend does not execute kernels");
-
+/// The ONE scheduling engine behind every batched driver (dense values,
+/// dense vectors, randomized truncated): maps problems of the given extents
+/// onto the backend under `config`, invoking `solve(p)` once per problem —
+/// from pool slots (InterProblem), sequentially (IntraProblem), or inside a
+/// work-stealing job (Mixed; small problems keep their launches inline, the
+/// large problems' launches publish workgroups for idle slots, with
+/// chunked range claims — ThreadPool::ParallelForOptions). The callback
+/// owns per-problem failure handling; exceptions it lets escape abort the
+/// whole batch (the ErrorPolicy::Throw contract).
+ScheduledRun run_scheduled_batch(const std::vector<index_t>& extents,
+                                 const BatchConfig& original_config,
+                                 ka::Backend& backend,
+                                 const std::function<void(std::size_t)>& solve) {
   // Auto on a ragged batch runs as Mixed (see auto_prefers_mixed).
   BatchConfig config = original_config;
   if (config.schedule == BatchSchedule::Auto &&
-      auto_prefers_mixed(batch, config, backend)) {
+      auto_prefers_mixed(extents, config, backend)) {
     config.schedule = BatchSchedule::Mixed;
   }
 
-  BatchReport rep;
-  rep.reports.resize(batch.size());
-  rep.schedules = resolve_schedules(batch, config, backend);
-  if (batch.empty()) return rep;
+  ScheduledRun run;
+  run.schedules = resolve_schedules(extents, config, backend);
+  if (extents.empty()) return run;
 
   const auto t0 = std::chrono::steady_clock::now();
 
-  std::vector<std::thread::id> problem_threads(batch.size());
+  std::vector<std::thread::id> problem_threads(extents.size());
   const auto solve_into_slot = [&](std::size_t p) {
     problem_threads[p] = std::this_thread::get_id();
-    solve_problem<T>(batch, p, config, backend, rep.reports[p]);
+    solve(p);
   };
 
   if (config.schedule == BatchSchedule::Mixed && pool_usable(backend)) {
@@ -149,15 +123,15 @@ BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
     // are claimed first (they hold a slot longest, and their kernel
     // launches publish nested work), the small-problem queue drains
     // inter-problem behind them, and slots that run out of queued problems
-    // steal workgroups from the still-running large slots.
-    std::vector<std::size_t> order(batch.size());
-    for (std::size_t p = 0; p < batch.size(); ++p) order[p] = p;
+    // steal workgroup ranges from the still-running large slots.
+    std::vector<std::size_t> order(extents.size());
+    for (std::size_t p = 0; p < extents.size(); ++p) order[p] = p;
     std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      const bool la = rep.schedules[a] == BatchSchedule::Mixed;
-      const bool lb = rep.schedules[b] == BatchSchedule::Mixed;
+      const bool la = run.schedules[a] == BatchSchedule::Mixed;
+      const bool lb = run.schedules[b] == BatchSchedule::Mixed;
       if (la != lb) return la;  // large (Mixed-tagged) problems first
-      if (la && extent(batch[a]) != extent(batch[b])) {
-        return extent(batch[a]) > extent(batch[b]);  // longest large first
+      if (la && extents[a] != extents[b]) {
+        return extents[a] > extents[b];  // longest large first
       }
       return false;  // small problems keep input order
     });
@@ -168,7 +142,7 @@ BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
         static_cast<index_t>(order.size()),
         [&](index_t k) {
           const std::size_t p = order[static_cast<std::size_t>(k)];
-          if (rep.schedules[p] == BatchSchedule::InterProblem) {
+          if (run.schedules[p] == BatchSchedule::InterProblem) {
             // Small problems keep their launches inline and thread-resident
             // (the InterProblem contract): no publish overhead, no stealing.
             ka::ScopedInlineNested inline_nested;
@@ -181,13 +155,13 @@ BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
   } else {
     std::vector<std::size_t> inter;
     std::vector<std::size_t> intra;
-    for (std::size_t p = 0; p < batch.size(); ++p) {
-      (rep.schedules[p] == BatchSchedule::InterProblem ? inter : intra).push_back(p);
+    for (std::size_t p = 0; p < extents.size(); ++p) {
+      (run.schedules[p] == BatchSchedule::InterProblem ? inter : intra).push_back(p);
     }
 
     // Inter-problem pass: one problem per pool slot. Inside a slot the
     // problem's own kernel launches run inline (ThreadPool reentrancy), so
-    // per-problem SvdReports — stage times included — are written by exactly
+    // per-problem reports — stage times included — are written by exactly
     // one thread each and never race.
     if (!inter.empty()) {
       ka::ThreadPool& pool = *backend.batch_pool();
@@ -202,14 +176,81 @@ BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
     }
   }
 
-  rep.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                    .count();
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   std::vector<std::thread::id> distinct(problem_threads);
   std::sort(distinct.begin(), distinct.end());
-  rep.threads_used = static_cast<std::size_t>(
+  run.threads_used = static_cast<std::size_t>(
       std::unique(distinct.begin(), distinct.end()) - distinct.begin());
+  return run;
+}
 
+template <class T>
+std::vector<index_t> extents_of(std::span<const ConstMatrixView<T>> batch) {
+  std::vector<index_t> extents(batch.size());
+  for (std::size_t p = 0; p < batch.size(); ++p) extents[p] = extent(batch[p]);
+  return extents;
+}
+
+/// Shared per-problem failure classification: validates shape/finiteness,
+/// runs `run_solver` (which must not re-scan for finiteness), classifies
+/// exceptions, and applies the error policy. `Report` is SvdReport or
+/// TruncReport — both carry status/status_message/values.
+template <class T, class Report, class RunSolver>
+void solve_classified(std::span<const ConstMatrixView<T>> batch, std::size_t p,
+                      bool check_finite, ErrorPolicy on_error, const char* what,
+                      Report& out, RunSolver&& run_solver) {
+  const ConstMatrixView<T>& a = batch[p];
+  std::string reason;
+  if (a.rows() < 1 || a.cols() < 1) {
+    out.status = SvdStatus::InvalidInput;
+    reason = "matrix must be non-empty";
+  } else if (check_finite && !ref::all_finite(a)) {
+    out.status = SvdStatus::NonFinite;
+    reason = "input contains NaN or Inf";
+  } else {
+    try {
+      out = run_solver(a);
+    } catch (const std::exception& e) {
+      out = Report{};
+      out.status = SvdStatus::InternalError;
+      reason = e.what();
+    }
+  }
+  if (out.status != SvdStatus::Ok) {
+    out.values.clear();
+    out.status_message = std::string(what) + ": problem " + std::to_string(p) +
+                         ": " + reason + " [" + to_string(out.status) + "]";
+    if (on_error == ErrorPolicy::Throw) throw Error(out.status_message);
+  }
+}
+
+}  // namespace
+
+template <class T>
+BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
+                                      const BatchConfig& config,
+                                      ka::Backend& backend) {
+  config.validate();
+  UNISVD_REQUIRE(backend.executes(),
+                 "svd_values_batched: backend does not execute kernels");
+
+  BatchReport rep;
+  rep.reports.resize(batch.size());
+  const ScheduledRun run = run_scheduled_batch(
+      extents_of<T>(batch), config, backend, [&](std::size_t p) {
+        solve_classified<T>(batch, p, config.svd.check_finite, config.on_error,
+                            "svd_values_batched", rep.reports[p],
+                            [&](const ConstMatrixView<T>& a) {
+                              SvdConfig cfg = config.svd;
+                              cfg.check_finite = false;  // verified by the engine
+                              return svd_values_report<T>(a, cfg, backend);
+                            });
+      });
+  rep.schedules = run.schedules;
+  rep.threads_used = run.threads_used;
+  rep.seconds = run.seconds;
   for (const auto& r : rep.reports) {
     rep.stage_times += r.stage_times;
   }
@@ -222,5 +263,45 @@ template BatchReport svd_values_batched_report<float>(
     std::span<const ConstMatrixView<float>>, const BatchConfig&, ka::Backend&);
 template BatchReport svd_values_batched_report<double>(
     std::span<const ConstMatrixView<double>>, const BatchConfig&, ka::Backend&);
+
+template <class T>
+TruncBatchReport svd_truncated_batched_report(
+    std::span<const ConstMatrixView<T>> batch, const TruncConfig& trunc,
+    const BatchConfig& config, ka::Backend& backend) {
+  trunc.validate();
+  config.validate();
+  UNISVD_REQUIRE(backend.executes(),
+                 "svd_truncated_batched: backend does not execute kernels");
+
+  TruncBatchReport rep;
+  rep.reports.resize(batch.size());
+  const ScheduledRun run = run_scheduled_batch(
+      extents_of<T>(batch), config, backend, [&](std::size_t p) {
+        solve_classified<T>(batch, p, trunc.svd.check_finite, config.on_error,
+                            "svd_truncated_batched", rep.reports[p],
+                            [&](const ConstMatrixView<T>& a) {
+                              TruncConfig cfg = trunc;
+                              cfg.svd.check_finite = false;  // verified above
+                              return svd_truncated_report<T>(a, cfg, backend);
+                            });
+      });
+  rep.schedules = run.schedules;
+  rep.threads_used = run.threads_used;
+  rep.seconds = run.seconds;
+  for (const auto& r : rep.reports) {
+    rep.stage_times += r.stage_times;
+  }
+  return rep;
+}
+
+template TruncBatchReport svd_truncated_batched_report<Half>(
+    std::span<const ConstMatrixView<Half>>, const TruncConfig&, const BatchConfig&,
+    ka::Backend&);
+template TruncBatchReport svd_truncated_batched_report<float>(
+    std::span<const ConstMatrixView<float>>, const TruncConfig&, const BatchConfig&,
+    ka::Backend&);
+template TruncBatchReport svd_truncated_batched_report<double>(
+    std::span<const ConstMatrixView<double>>, const TruncConfig&, const BatchConfig&,
+    ka::Backend&);
 
 }  // namespace unisvd

@@ -230,4 +230,64 @@ std::vector<Svd<T>> svd_batched(std::span<const ConstMatrixView<T>> batch,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Batched randomized truncated SVD
+// ---------------------------------------------------------------------------
+
+/// Result of one batched truncated call: TruncReports in input order plus
+/// the same scheduling diagnostics BatchReport carries — both batched
+/// drivers ride ONE scheduling engine, so schedules, work stealing and
+/// fault isolation behave identically.
+struct TruncBatchReport {
+  std::vector<TruncReport> reports;      ///< per-problem, input order
+  std::vector<BatchSchedule> schedules;  ///< schedule each problem ran under
+  ka::StageTimes stage_times;            ///< summed over problems (CPU seconds)
+  std::size_t threads_used = 0;          ///< distinct problem-solving threads
+  double seconds = 0.0;                  ///< wall clock of the whole batch
+
+  [[nodiscard]] bool all_ok() const noexcept {
+    for (const auto& r : reports) {
+      if (r.status != SvdStatus::Ok) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t failed_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : reports) {
+      if (r.status != SvdStatus::Ok) ++n;
+    }
+    return n;
+  }
+};
+
+/// Batched randomized truncated SVD with diagnostics: every problem is
+/// solved by svd_truncated_report under `trunc` (rank, oversample, power
+/// iterations, adaptive tol, seed — the sketch seed is shared, so each
+/// problem's result is identical to a solo svd_truncated call). `config`
+/// supplies the SCHEDULING side only — BatchSchedule (Auto/Inter/Intra/
+/// Mixed work stealing), crossover, and ErrorPolicy; its `svd` member is
+/// ignored in favor of trunc.svd. Under Isolate a failed problem records
+/// its status in the report and the rest of the batch completes.
+template <class T>
+TruncBatchReport svd_truncated_batched_report(
+    std::span<const ConstMatrixView<T>> batch, const TruncConfig& trunc = {},
+    const BatchConfig& config = {}, ka::Backend& backend = ka::default_backend());
+
+/// Batched truncated SVD in storage precision: one SvdTrunc (u, values, vt)
+/// per problem, in input order. Under ErrorPolicy::Isolate a failed problem
+/// yields empty values/factors (inspect the report variant for its status).
+template <class T>
+std::vector<SvdTrunc<T>> svd_truncated_batched(
+    std::span<const ConstMatrixView<T>> batch, const TruncConfig& trunc = {},
+    const BatchConfig& config = {}, ka::Backend& backend = ka::default_backend()) {
+  const TruncBatchReport rep =
+      svd_truncated_batched_report<T>(batch, trunc, config, backend);
+  std::vector<SvdTrunc<T>> out;
+  out.reserve(rep.reports.size());
+  for (const auto& r : rep.reports) {
+    out.push_back(detail::narrow_trunc<T>(r));
+  }
+  return out;
+}
+
 }  // namespace unisvd

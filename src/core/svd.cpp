@@ -20,18 +20,6 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-/// Largest absolute element (in double, any storage type).
-template <class T>
-double max_abs(ConstMatrixView<T> a) {
-  double mx = 0.0;
-  for (index_t j = 0; j < a.cols(); ++j) {
-    for (index_t i = 0; i < a.rows(); ++i) {
-      mx = std::max(mx, std::abs(static_cast<double>(a.at(i, j))));
-    }
-  }
-  return mx;
-}
-
 /// Copy src into the top-left of dst, dividing by `scale` in compute
 /// precision (the auto_scale path; scale == 1 is a plain copy).
 template <class T>
@@ -113,10 +101,7 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
 
   SvdReport rep;
   if (config.auto_scale) {
-    const double amax = max_abs(at);
-    if (amax > 0.0 && (amax > 4.0 || amax < 0.25)) {
-      rep.scale_factor = amax;
-    }
+    rep.scale_factor = ref::auto_scale_divisor(at);
   }
 
   const int ts = config.kernels.tilesize;
@@ -174,23 +159,34 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
                         &rep.stage_times, ut_ptr, vt_ptr);
 
   // Stage 2: band -> bidiagonal (Givens bulge chasing, compute precision).
+  // The time the chase's rotations spend on the Ut/Vt accumulators is
+  // reported separately (acc2) and booked under VectorAccumulation: the
+  // band2bidiag figure stays comparable between values-only and vector
+  // jobs, and the Figure 6 vector-acc column covers ALL vector work.
   auto t0 = std::chrono::steady_clock::now();
   auto bandm = band::extract_band<T>(square.view(), ts);
   std::vector<CT> d;
   std::vector<CT> e;
-  rep.chase_stats = band::band_to_bidiag(bandm, d, e, ut_ptr, vt_ptr);
-  rep.stage_times.add(ka::Stage::BandToBidiagonal, seconds_since(t0));
+  double acc2 = 0.0;
+  rep.chase_stats = band::band_to_bidiag(bandm, d, e, ut_ptr, vt_ptr,
+                                         want_vectors ? &acc2 : nullptr);
+  rep.stage_times.add(ka::Stage::BandToBidiagonal, seconds_since(t0) - acc2);
+  rep.stage_times.add(ka::Stage::VectorAccumulation, acc2);
 
   // Stage 3: bidiagonal -> singular values (implicit-shift QR iteration,
   // Sturm-bisection fallback on stagnating blocks). The vector variant
-  // executes identical d/e arithmetic — values are bit-identical either way.
+  // executes identical d/e arithmetic — values are bit-identical either
+  // way — and, like Stage 2, splits its accumulator-rotation time out into
+  // VectorAccumulation.
   t0 = std::chrono::steady_clock::now();
+  double acc3 = 0.0;
   const std::vector<CT> sv =
       want_vectors
           ? bidiag::bidiag_svd_qr_vectors(std::move(d), std::move(e), ut_view,
-                                          vt_view)
+                                          vt_view, &acc3)
           : bidiag::bidiag_svd_qr(std::move(d), std::move(e));
-  rep.stage_times.add(ka::Stage::BidiagonalToDiagonal, seconds_since(t0));
+  rep.stage_times.add(ka::Stage::BidiagonalToDiagonal, seconds_since(t0) - acc3);
+  rep.stage_times.add(ka::Stage::VectorAccumulation, acc3);
 
   rep.values.assign(sv.begin(), sv.end());           // already descending
   rep.values.resize(static_cast<std::size_t>(n));    // drop padding zeros

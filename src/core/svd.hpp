@@ -14,6 +14,7 @@
 ///   unisvd::Matrix<float> a = ...;
 ///   std::vector<float> sigma = unisvd::svd_values(a.view());
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -195,6 +196,139 @@ template <class T>
 Svd<T> svd(ConstMatrixView<T> a, const SvdConfig& config = {},
            ka::Backend& backend = ka::default_backend()) {
   return detail::narrow_svd<T>(svd_report(a, config, backend));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized truncated SVD (implementation in src/rsvd/)
+// ---------------------------------------------------------------------------
+
+/// Options of the randomized truncated solver (Halko/Martinsson/Tropp
+/// sketch -> power-iterate -> project, on the repo's tiled kernels).
+struct TruncConfig {
+  /// Target rank k: the number of singular triplets to return, clamped to
+  /// min(m, n). 0 picks a small default (8) — callers serious about the
+  /// spectrum should set it. In the tolerance-driven adaptive mode
+  /// (tol > 0) this is only the INITIAL sketch guess and the returned rank
+  /// is chosen from the spectrum.
+  index_t rank = 0;
+  /// Oversampling p: the sketch uses l = k + p Gaussian test vectors. The
+  /// classic l = k + 5..10 regime; larger p tightens the error bound at
+  /// linear extra cost. Tuned per backend/precision via the TuningTable
+  /// (core::tuned_trunc_config).
+  index_t oversample = 8;
+  /// Subspace (power) iterations q: each one multiplies the spectral decay
+  /// seen by the range finder by (sigma_k / sigma_1)^2, at the cost of two
+  /// more panel factorizations per iteration. 1-2 suffices for anything
+  /// with visible decay; 0 only for sharply truncated spectra.
+  int power_iters = 2;
+  /// Adaptive-rank mode: when > 0, pick the smallest rank k whose tail
+  /// estimate sigma_{k+1} <= tol * sigma_1, growing the sketch (geometric
+  /// doubling, re-using the Gaussian stream prefix) until such a k fits
+  /// inside it, up to max_rank — then fall back to the dense path.
+  double tol = 0.0;
+  /// Adaptive-rank cap (0 = min(m, n)). Ignored when tol == 0.
+  index_t max_rank = 0;
+  /// Seed of the Gaussian sketch: svd_truncated is deterministic per seed
+  /// (across backends, thread counts and batch schedules).
+  std::uint64_t seed = 42;
+  /// Per-solve options of the underlying kernels/pipeline: `kernels`,
+  /// `check_finite` and `auto_scale` apply exactly as for svd(); `job` is
+  /// ignored (the truncated solver always produces factors).
+  SvdConfig svd;
+
+  void validate() const {
+    svd.validate();
+    UNISVD_REQUIRE(rank >= 0 && oversample >= 0 && max_rank >= 0,
+                   "TruncConfig: rank/oversample/max_rank must be >= 0");
+    UNISVD_REQUIRE(power_iters >= 0 && power_iters <= 64,
+                   "TruncConfig: power_iters must be in [0, 64]");
+    UNISVD_REQUIRE(tol >= 0.0, "TruncConfig: tol must be >= 0");
+  }
+};
+
+/// Rank-k factorization in storage precision: A ~= u * diag(values) * vt.
+template <class T>
+struct SvdTrunc {
+  Matrix<T> u;            ///< left singular vectors, m x k
+  std::vector<T> values;  ///< top k singular values, descending
+  Matrix<T> vt;           ///< right singular vectors transposed, k x n
+
+  [[nodiscard]] index_t rank() const noexcept {
+    return static_cast<index_t>(values.size());
+  }
+};
+
+/// Outcome of one truncated solve, with diagnostics. Factors are held in
+/// double like SvdReport's (the arithmetic ran in compute precision).
+struct TruncReport {
+  std::vector<double> values;   ///< top k singular values, descending
+  Matrix<double> u;             ///< m x k
+  Matrix<double> vt;            ///< k x n
+  index_t rank = 0;             ///< k actually returned
+  index_t sketch_cols = 0;      ///< Gaussian test vectors used (l = k + p)
+  int power_iters = 0;          ///< subspace iterations actually run
+  int adaptive_rounds = 0;      ///< sketch growths in adaptive mode (0 = first fit)
+  bool dense_fallback = false;  ///< solved by the dense pipeline (sketch would
+                                ///< not have been smaller than the problem)
+  /// Estimate of sigma_{k+1}(A) — the (k+1)-th value of the projected
+  /// problem; 0 when the sketch had no tail beyond k. This is the quantity
+  /// the adaptive mode thresholds and the optimal rank-k error's scale.
+  double sigma_tail = 0.0;
+  double scale_factor = 1.0;    ///< auto_scale divisor applied to the input
+  ka::StageTimes stage_times;   ///< includes Stage::RandomizedSketch
+  SvdStatus status = SvdStatus::Ok;  ///< per-problem outcome (batched Isolate)
+  std::string status_message;   ///< empty when Ok
+};
+
+/// Randomized truncated SVD with diagnostics: Gaussian sketch, q subspace
+/// iterations re-orthonormalized through the tiled panel QR, projection to
+/// an (l x n) problem solved by the dense pipeline, back-composition
+/// U = Q * U~ through the backward reflector kernels. Rectangular inputs of
+/// either orientation are supported (wide ones run on the lazy transpose).
+/// Deterministic per TruncConfig::seed. Throws unisvd::Error for empty or
+/// (by default) non-finite inputs and for invalid configurations.
+template <class T>
+TruncReport svd_truncated_report(ConstMatrixView<T> a,
+                                 const TruncConfig& config = {},
+                                 ka::Backend& backend = ka::default_backend());
+
+namespace detail {
+
+/// Narrow a truncated report into storage precision (empty factors pass
+/// through empty — the batched Isolate failure shape).
+template <class T>
+SvdTrunc<T> narrow_trunc(const TruncReport& rep) {
+  SvdTrunc<T> out;
+  out.values.resize(rep.values.size());
+  for (std::size_t i = 0; i < out.values.size(); ++i) {
+    out.values[i] = narrow_from_double<T>(rep.values[i]);
+  }
+  out.u = Matrix<T>(rep.u.rows(), rep.u.cols());
+  for (index_t j = 0; j < rep.u.cols(); ++j) {
+    for (index_t i = 0; i < rep.u.rows(); ++i) {
+      out.u(i, j) = narrow_from_double<T>(rep.u(i, j));
+    }
+  }
+  out.vt = Matrix<T>(rep.vt.rows(), rep.vt.cols());
+  for (index_t j = 0; j < rep.vt.cols(); ++j) {
+    for (index_t i = 0; i < rep.vt.rows(); ++i) {
+      out.vt(i, j) = narrow_from_double<T>(rep.vt(i, j));
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Randomized truncated SVD in storage precision: the top-k factorization
+/// A ~= u * diag(values) * vt at a fraction of the dense pipeline's cost —
+/// the PCA / LoRA / low-rank-compression entry point. See TruncConfig for
+/// the rank/oversample/power-iteration knobs and the tolerance-driven
+/// adaptive-rank mode.
+template <class T>
+SvdTrunc<T> svd_truncated(ConstMatrixView<T> a, const TruncConfig& config = {},
+                          ka::Backend& backend = ka::default_backend()) {
+  return detail::narrow_trunc<T>(svd_truncated_report(a, config, backend));
 }
 
 }  // namespace unisvd

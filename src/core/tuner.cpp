@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include <system_error>
 
 #include "common/half.hpp"
+#include "common/linalg_ref.hpp"
 #include "core/batch.hpp"
 #include "qr/band_reduction.hpp"
 #include "rand/matrix_gen.hpp"
@@ -260,6 +262,29 @@ qr::KernelConfig TuningTable::kernels_or(std::string_view backend, Precision p,
   return hit != nullptr ? *hit : fallback;
 }
 
+void TuningTable::set_rsvd(std::string_view backend, Precision p,
+                           const RsvdDefaults& d) {
+  UNISVD_REQUIRE(d.oversample >= 0 && d.power_iters >= 0,
+                 "TuningTable: rsvd defaults must be non-negative");
+  UNISVD_REQUIRE(backend.find_first_of(" \t\n#") == std::string_view::npos,
+                 "TuningTable: backend names must be free of whitespace and '#' "
+                 "(the text format's separators and comment marker)");
+  rsvd_defaults_[Key{std::string(backend), p}] = d;
+}
+
+std::optional<TuningTable::RsvdDefaults> TuningTable::rsvd(std::string_view backend,
+                                                           Precision p) const {
+  const auto it = rsvd_defaults_.find(Key{std::string(backend), p});
+  if (it == rsvd_defaults_.end()) return std::nullopt;
+  return it->second;
+}
+
+TuningTable::RsvdDefaults TuningTable::rsvd_or(std::string_view backend, Precision p,
+                                               const RsvdDefaults& fallback) const {
+  const RsvdDefaults* hit = lookup(rsvd_defaults_, backend, p);
+  return hit != nullptr ? *hit : fallback;
+}
+
 void TuningTable::write(std::ostream& os) const {
   os << "# unisvd tuning table v1\n";
   for (const auto& [key, crossover] : crossovers_) {
@@ -270,6 +295,10 @@ void TuningTable::write(std::ostream& os) const {
     os << "kernels " << key.first << ' ' << to_string(key.second) << ' '
        << cfg.tilesize << ' ' << cfg.colperblock << ' ' << cfg.splitk << ' '
        << (cfg.fused ? 1 : 0) << '\n';
+  }
+  for (const auto& [key, d] : rsvd_defaults_) {
+    os << "rsvd " << key.first << ' ' << to_string(key.second) << ' '
+       << d.oversample << ' ' << d.power_iters << '\n';
   }
 }
 
@@ -302,6 +331,13 @@ TuningTable TuningTable::read(std::istream& is) {
         continue;  // corrupt entry: skip, keep the rest of the table
       }
       table.kernel_configs_[Key{backend, *p}] = cfg;
+    } else if (directive == "rsvd") {
+      RsvdDefaults d;
+      if (!(ls >> d.oversample >> d.power_iters) || d.oversample < 0 ||
+          d.power_iters < 0) {
+        continue;
+      }
+      table.rsvd_defaults_[Key{backend, *p}] = d;
     }
     // Unknown directives are ignored (forward compatibility).
   }
@@ -348,6 +384,140 @@ BatchConfig tuned_batch_config(const TuningTable& table, const ka::Backend& back
   base.crossover_n = table.batch_crossover_or(backend.name(), p, base.crossover_n);
   base.svd.kernels = table.kernels_or(backend.name(), p, base.svd.kernels);
   return base;
+}
+
+template <class T>
+RsvdTuneResult tune_rsvd(ka::Backend& backend, index_t m, index_t n, index_t rank,
+                         std::vector<TuningTable::RsvdDefaults> candidates,
+                         int repeats, double accuracy_budget, std::uint64_t seed) {
+  UNISVD_REQUIRE(backend.executes(), "tune_rsvd: backend must execute kernels");
+  UNISVD_REQUIRE(m >= n && n >= 2 * rank && rank >= 2,
+                 "tune_rsvd: probe needs m >= n >= 2*rank, rank >= 2");
+  UNISVD_REQUIRE(repeats >= 1, "tune_rsvd: repeats must be positive");
+  UNISVD_REQUIRE(accuracy_budget >= 1.0, "tune_rsvd: accuracy_budget must be >= 1");
+  if (candidates.empty()) {
+    for (const index_t p : {index_t{4}, index_t{8}, index_t{16}}) {
+      for (const int q : {0, 1, 2}) {
+        candidates.push_back(TuningTable::RsvdDefaults{p, q});
+      }
+    }
+  }
+
+  // Probe: geometric decay to sigma_rank, then a flat noise tail — the
+  // shape truncated SVD serves (PCA scree, trained-weight spectra). The
+  // optimal rank-k Frobenius error is known exactly from the spectrum.
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    sigma[static_cast<std::size_t>(i)] =
+        i < rank ? std::pow(10.0, -2.0 * static_cast<double>(i) /
+                                      static_cast<double>(rank))
+                 : 1e-3;
+  }
+  double tail2 = 0.0;
+  for (index_t i = rank; i < n; ++i) {
+    tail2 += sigma[static_cast<std::size_t>(i)] * sigma[static_cast<std::size_t>(i)];
+  }
+  const double optimal = std::sqrt(tail2);
+  rnd::Xoshiro256 rng(seed);
+  const Matrix<double> probe64 = rnd::rect_matrix_with_spectrum(m, n, sigma, rng);
+  const Matrix<T> probe = rnd::round_to<T>(probe64);
+
+  RsvdTuneResult result;
+  for (const auto& cand : candidates) {
+    TruncConfig cfg;
+    cfg.rank = rank;
+    cfg.oversample = cand.oversample;
+    cfg.power_iters = cand.power_iters;
+    cfg.seed = seed;
+    RsvdSample sample;
+    sample.defaults = cand;
+    sample.seconds = std::numeric_limits<double>::infinity();
+    TruncReport rep;
+    for (int r = 0; r < repeats; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      rep = svd_truncated_report<T>(probe.view(), cfg, backend);
+      sample.seconds = std::min(
+          sample.seconds,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    // Rank-k residual RELATIVE to the optimal rank-k error (the probe's
+    // noise tail guarantees optimal > 0): 1.0 is perfect, accuracy_budget
+    // is the gate.
+    sample.residual =
+        ref::rank_k_residual_fro(probe64.view(), rep.u, rep.values, rep.vt,
+                                 rep.rank) /
+        optimal;
+    sample.accurate = sample.residual <= accuracy_budget;
+    result.samples.push_back(sample);
+  }
+  std::sort(result.samples.begin(), result.samples.end(),
+            [](const RsvdSample& a, const RsvdSample& b) {
+              return a.seconds < b.seconds;
+            });
+  // Fastest accurate candidate; if nothing met the gate (degenerate probe),
+  // fall back to the most accurate one.
+  const RsvdSample* winner = nullptr;
+  for (const auto& s : result.samples) {
+    if (s.accurate) {
+      winner = &s;
+      break;
+    }
+  }
+  if (winner == nullptr) {
+    winner = &*std::min_element(result.samples.begin(), result.samples.end(),
+                                [](const RsvdSample& a, const RsvdSample& b) {
+                                  return a.residual < b.residual;
+                                });
+  }
+  result.best = winner->defaults;
+  return result;
+}
+
+template RsvdTuneResult tune_rsvd<Half>(ka::Backend&, index_t, index_t, index_t,
+                                        std::vector<TuningTable::RsvdDefaults>, int,
+                                        double, std::uint64_t);
+template RsvdTuneResult tune_rsvd<float>(ka::Backend&, index_t, index_t, index_t,
+                                         std::vector<TuningTable::RsvdDefaults>, int,
+                                         double, std::uint64_t);
+template RsvdTuneResult tune_rsvd<double>(ka::Backend&, index_t, index_t, index_t,
+                                          std::vector<TuningTable::RsvdDefaults>,
+                                          int, double, std::uint64_t);
+
+template <class T>
+TuningTable::RsvdDefaults learn_rsvd(TuningTable& table, ka::Backend& backend,
+                                     index_t m, index_t n, index_t rank, int repeats,
+                                     double accuracy_budget, std::uint64_t seed) {
+  const RsvdTuneResult result =
+      tune_rsvd<T>(backend, m, n, rank, {}, repeats, accuracy_budget, seed);
+  table.set_rsvd(backend.name(), precision_of<T>, result.best);
+  return result.best;
+}
+
+template TuningTable::RsvdDefaults learn_rsvd<Half>(TuningTable&, ka::Backend&,
+                                                    index_t, index_t, index_t, int,
+                                                    double, std::uint64_t);
+template TuningTable::RsvdDefaults learn_rsvd<float>(TuningTable&, ka::Backend&,
+                                                     index_t, index_t, index_t, int,
+                                                     double, std::uint64_t);
+template TuningTable::RsvdDefaults learn_rsvd<double>(TuningTable&, ka::Backend&,
+                                                      index_t, index_t, index_t, int,
+                                                      double, std::uint64_t);
+
+TruncConfig tuned_trunc_config(const TuningTable& table, const ka::Backend& backend,
+                               Precision p, TruncConfig base) {
+  const TuningTable::RsvdDefaults d = table.rsvd_or(
+      backend.name(), p,
+      TuningTable::RsvdDefaults{base.oversample, base.power_iters});
+  base.oversample = d.oversample;
+  base.power_iters = d.power_iters;
+  base.svd.kernels = table.kernels_or(backend.name(), p, base.svd.kernels);
+  return base;
+}
+
+TruncConfig tuned_trunc_config(const ka::Backend& backend, Precision p,
+                               TruncConfig base) {
+  return tuned_trunc_config(default_tuning_table(), backend, p, std::move(base));
 }
 
 std::string default_tuning_path() {

@@ -91,6 +91,7 @@ template <class T>
 /// directives and malformed lines are skipped, so newer tables still load):
 ///   crossover <backend> <FP16|FP32|FP64> <n>
 ///   kernels <backend> <FP16|FP32|FP64> <tilesize> <colperblock> <splitk> <fused 0|1>
+///   rsvd <backend> <FP16|FP32|FP64> <oversample> <power_iters>
 /// Backend names must be free of whitespace and '#' — the format's
 /// separators and comment marker (every ka::Backend::name() is).
 class TuningTable {
@@ -110,8 +111,22 @@ class TuningTable {
   [[nodiscard]] qr::KernelConfig kernels_or(std::string_view backend, Precision p,
                                             const qr::KernelConfig& fallback) const;
 
+  /// Measured randomized-truncated-SVD defaults (core::tune_rsvd): the
+  /// cheapest (oversample, power_iters) pair that still met the accuracy
+  /// gate on the probe problem. Dropped into TruncConfig by
+  /// core::tuned_trunc_config.
+  struct RsvdDefaults {
+    index_t oversample = 8;
+    int power_iters = 2;
+  };
+  void set_rsvd(std::string_view backend, Precision p, const RsvdDefaults& d);
+  [[nodiscard]] std::optional<RsvdDefaults> rsvd(std::string_view backend,
+                                                 Precision p) const;
+  [[nodiscard]] RsvdDefaults rsvd_or(std::string_view backend, Precision p,
+                                     const RsvdDefaults& fallback) const;
+
   [[nodiscard]] std::size_t size() const noexcept {
-    return crossovers_.size() + kernel_configs_.size();
+    return crossovers_.size() + kernel_configs_.size() + rsvd_defaults_.size();
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
@@ -133,6 +148,7 @@ class TuningTable {
 
   std::map<Key, index_t> crossovers_;
   std::map<Key, qr::KernelConfig> kernel_configs_;
+  std::map<Key, RsvdDefaults> rsvd_defaults_;
 };
 
 /// Run tune_batch_crossover and deposit the learned crossover into `table`
@@ -149,6 +165,57 @@ index_t learn_batch_crossover(TuningTable& table, ka::Backend& backend,
 [[nodiscard]] BatchConfig tuned_batch_config(const TuningTable& table,
                                              const ka::Backend& backend, Precision p,
                                              BatchConfig base = {});
+
+/// One probed (oversample, power_iters) candidate of the rsvd tuner.
+struct RsvdSample {
+  TuningTable::RsvdDefaults defaults;
+  double seconds = 0.0;   ///< best-of-repeats wall clock of svd_truncated
+  /// ||A - U S V^T||_F divided by the OPTIMAL rank-k error of the probe
+  /// (1.0 = perfect; the probe's noise tail guarantees the denominator).
+  double residual = 0.0;
+  bool accurate = false;  ///< residual <= accuracy_budget
+};
+
+struct RsvdTuneResult {
+  TuningTable::RsvdDefaults best;   ///< cheapest accurate candidate
+  std::vector<RsvdSample> samples;  ///< every candidate, fastest first
+};
+
+/// Measure randomized-truncated-SVD defaults for this backend and storage
+/// type: run svd_truncated at rank `rank` on an m x n synthetic matrix with
+/// a known decaying spectrum for every (oversample, power_iters) candidate,
+/// keep the best of `repeats` runs, and pick the FASTEST candidate whose
+/// rank-k residual stays within `accuracy_budget` times the optimal rank-k
+/// error (the sigma-tail bound the test suite enforces). Empty `candidates`
+/// probes oversample {4, 8, 16} x power_iters {0, 1, 2}. The winner drops
+/// into TruncConfig via tuned_trunc_config.
+template <class T>
+[[nodiscard]] RsvdTuneResult tune_rsvd(
+    ka::Backend& backend, index_t m = 384, index_t n = 96, index_t rank = 16,
+    std::vector<TuningTable::RsvdDefaults> candidates = {}, int repeats = 1,
+    double accuracy_budget = 1.5, std::uint64_t seed = 42);
+
+/// Run tune_rsvd and deposit the winner into `table` under the backend's
+/// name and T's precision. Returns the winner.
+template <class T>
+TuningTable::RsvdDefaults learn_rsvd(TuningTable& table, ka::Backend& backend,
+                                     index_t m = 384, index_t n = 96,
+                                     index_t rank = 16, int repeats = 1,
+                                     double accuracy_budget = 1.5,
+                                     std::uint64_t seed = 42);
+
+/// TruncConfig whose oversample/power_iters come from the table's measured
+/// rsvd defaults (exact backend/precision match, then nearest precision,
+/// then `base` unchanged) — and whose Phase-1 kernels come from the
+/// table's autotune winner, like tuned_batch_config.
+[[nodiscard]] TruncConfig tuned_trunc_config(const TuningTable& table,
+                                             const ka::Backend& backend, Precision p,
+                                             TruncConfig base = {});
+
+/// tuned_trunc_config against the process-default table (UNISVD_TUNING_FILE
+/// / XDG fallback; see default_tuning_path).
+[[nodiscard]] TruncConfig tuned_trunc_config(const ka::Backend& backend, Precision p,
+                                             TruncConfig base = {});
 
 /// ---- Process-default tuning table location ----
 ///

@@ -25,8 +25,12 @@ enum class Stage {
   BandToBidiagonal,     ///< Phase 2 bulge chasing
   BidiagonalToDiagonal, ///< Phase 3 singular values of the bidiagonal
   VectorAccumulation,   ///< singular-vector accumulation (SvdJob::Thin/Full):
-                        ///< Stage-1 reflector applications to the U/V factors
-                        ///< plus the final factor composition/unpadding
+                        ///< Stage-1 reflector applications to the U/V factors,
+                        ///< the Stage-2/3 accumulator rotations (split out of
+                        ///< the band2bi/bi2diag stopwatches), and the final
+                        ///< factor composition/unpadding
+  RandomizedSketch,     ///< randomized truncated SVD (src/rsvd): Gaussian
+                        ///< sketch GEMM launches (Y = A * Omega)
   kCount                ///< number of stages (StageTimes storage extent)
 };
 
@@ -37,6 +41,7 @@ enum class Stage {
     case Stage::BandToBidiagonal: return "band2bidiag";
     case Stage::BidiagonalToDiagonal: return "bidiag2diag";
     case Stage::VectorAccumulation: return "vector-acc";
+    case Stage::RandomizedSketch: return "sketch";
     case Stage::kCount: break;
   }
   return "?";

@@ -13,6 +13,11 @@ thread_local const ThreadPool* tls_running_pool = nullptr;
 /// True while the current thread executes an iteration of a work-stealing
 /// job: its nested parallel_for calls publish their range for helpers.
 thread_local bool tls_stealing_job = false;
+/// Steal granularity of the enclosing work-stealing job (ParallelForOptions
+/// ::chunked_stealing): nested jobs published from inside it inherit the
+/// flag, so helpers know whether to claim half-remainder ranges or single
+/// indices.
+thread_local bool tls_chunked_steal = false;
 /// Set by ScopedInlineNested: publication is suppressed even inside a
 /// work-stealing job (small batch problems opt out of the per-launch cost).
 thread_local bool tls_inline_nested = false;
@@ -65,42 +70,66 @@ void ThreadPool::worker_loop() {
 
 bool ThreadPool::in_job() const noexcept { return tls_running_pool == this; }
 
+void ThreadPool::run_iteration(Job& job, index_t i, bool notify_done) {
+  // After a failure the job's result is discarded anyway: skip the work
+  // but still count the iteration, so the done == n completion condition
+  // holds and the caller gets the exception without paying for the rest
+  // of the batch.
+  if (!job.failed.load(std::memory_order_relaxed)) {
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+      job.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n &&
+      notify_done) {
+    // Take the pool mutex before notifying: guarantees the waiter is
+    // either not yet blocked (and will see done == n under the lock) or
+    // already blocked (and receives this notification). Prevents the
+    // classic lost-wakeup between predicate check and sleep.
+    { std::lock_guard lock(mutex_); }
+    done_cv_.notify_all();
+  }
+}
+
 void ThreadPool::drain(Job& job, bool notify_done) {
   for (;;) {
     const index_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) break;
-    // After a failure the job's result is discarded anyway: skip the work
-    // but still count the iteration, so the done == n completion condition
-    // holds and the caller gets the exception without paying for the rest
-    // of the batch.
-    if (!job.failed.load(std::memory_order_relaxed)) {
-      try {
-        (*job.fn)(i);
-      } catch (...) {
-        std::lock_guard lock(job.error_mutex);
-        if (!job.error) job.error = std::current_exception();
-        job.failed.store(true, std::memory_order_relaxed);
-      }
-    }
-    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n &&
-        notify_done) {
-      // Take the pool mutex before notifying: guarantees the waiter is
-      // either not yet blocked (and will see done == n under the lock) or
-      // already blocked (and receives this notification). Prevents the
-      // classic lost-wakeup between predicate check and sleep.
-      { std::lock_guard lock(mutex_); }
-      done_cv_.notify_all();
-    }
+    run_iteration(job, i, notify_done);
   }
+}
+
+bool ThreadPool::steal_chunk(Job& job) {
+  // Claim half of what remains in one atomic bump. The remainder estimate
+  // may be stale (other claimants advanced the cursor concurrently), but
+  // fetch_add hands out disjoint ranges regardless; a claim reaching past
+  // n simply clamps — the indices beyond n were never anyone else's.
+  const index_t seen = job.next.load(std::memory_order_relaxed);
+  if (seen >= job.n) return false;
+  const index_t want = std::max<index_t>(1, (job.n - seen) / 2);
+  const index_t i0 = job.next.fetch_add(want, std::memory_order_relaxed);
+  if (i0 >= job.n) return false;
+  const index_t iend = std::min(job.n, i0 + want);
+  for (index_t i = i0; i < iend; ++i) {
+    run_iteration(job, i, /*notify_done=*/false);
+  }
+  return true;
 }
 
 void ThreadPool::run_job(Job& job) {
   const ThreadPool* const prev_pool = tls_running_pool;
   const bool prev_stealing = tls_stealing_job;
+  const bool prev_chunked = tls_chunked_steal;
   tls_running_pool = this;
   tls_stealing_job = job.stealing;
+  tls_chunked_steal = job.chunked;
   drain(job, /*notify_done=*/true);
   if (job.stealing) steal_until_done(job);
+  tls_chunked_steal = prev_chunked;
   tls_stealing_job = prev_stealing;
   tls_running_pool = prev_pool;
 }
@@ -135,6 +164,13 @@ bool ThreadPool::help_one_nested() {
     }
   }
   if (!job) return false;
+  if (job->chunked) {
+    // One half-remainder range per visit (the enclosing steal loop comes
+    // back for more): successive claims halve geometrically, so helpers
+    // share big launches with one atomic bump per block while the tail
+    // still spreads at index granularity.
+    return steal_chunk(*job);
+  }
   drain(*job, /*notify_done=*/false);  // owners spin on done, no cv needed
   return true;
 }
@@ -144,6 +180,7 @@ void ThreadPool::run_published_nested(index_t n,
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->n = n;
+  job->chunked = tls_chunked_steal;  // inherit the enclosing job's granularity
   {
     std::lock_guard lock(nested_mutex_);
     nested_.push_back(job);
@@ -206,6 +243,7 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn,
   job->fn = &fn;
   job->n = n;
   job->stealing = opts.work_stealing;
+  job->chunked = opts.work_stealing && opts.chunked_stealing;
   {
     std::lock_guard lock(mutex_);
     current_ = job;

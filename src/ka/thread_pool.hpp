@@ -61,6 +61,15 @@ struct ParallelForOptions {
   /// completes). Nested calls made from inside a work-stealing job publish
   /// their range for helpers; without the flag they run inline as before.
   bool work_stealing = false;
+  /// Steal granularity for published nested ranges: a helper claims a
+  /// contiguous block of HALF the remaining iterations per visit (guided
+  /// self-scheduling — successive claims halve, so the tail still load
+  /// balances) instead of one index at a time. One atomic claim per block
+  /// instead of per workgroup cuts contention on the nested job's cursor
+  /// when many helpers drain a large kernel launch. Off restores the
+  /// historic index-at-a-time stealing; results are identical either way
+  /// (only the iteration-to-thread mapping changes).
+  bool chunked_stealing = true;
 };
 
 class ThreadPool {
@@ -106,15 +115,24 @@ class ThreadPool {
     std::atomic<bool> failed{false};  ///< set once an iteration threw
     index_t n = 0;
     bool stealing = false;  ///< workers help nested jobs after the range drains
+    bool chunked = false;   ///< helpers claim half-remainder ranges, not indices
     std::exception_ptr error;
     std::mutex error_mutex;
   };
 
   void worker_loop();
   void run_job(Job& job);
+  /// Execute one claimed iteration with the shared failure bookkeeping:
+  /// after a failure the work is skipped but the iteration still counts, so
+  /// the done == n completion condition always holds.
+  void run_iteration(Job& job, index_t i, bool notify_done);
   /// Pop-and-execute loop shared by owners, workers and stealers. Counts
   /// skipped iterations after a failure so done == n always completes.
   void drain(Job& job, bool notify_done);
+  /// Chunked steal: claim a contiguous range of half the remaining
+  /// iterations of `job` in ONE atomic bump and execute it. Returns false
+  /// when the range was already exhausted.
+  bool steal_chunk(Job& job);
   /// Nested parallel_for under a work-stealing job: publish, drain, wait.
   void run_published_nested(index_t n, const std::function<void(index_t)>& fn);
   /// Execute iterations of one published nested job, if any has work left.

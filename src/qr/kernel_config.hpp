@@ -37,6 +37,13 @@ struct KernelConfig {
   }
 };
 
+/// Application direction of a reflector set (UNMQR/TSMQR kernel bodies).
+/// Forward applies the Householder factors in factorization order, which
+/// composes Q^T; Backward applies the SAME (symmetric) factors in reverse
+/// order, which composes Q. One kernel body serves both directions: only
+/// the loop order flips, so the two are exact adjoints in floating point.
+enum class ApplyDir { Forward, Backward };
+
 /// Analytic per-launch costs. `S` is sizeof(storage element), `ts` the tile
 /// size. Flop counts keep the leading terms only; they feed the performance
 /// model, which is calibrated at the shape level, not the ULP level.

@@ -33,13 +33,15 @@ namespace detail {
 /// lend) (tau rows l of Tau), to tile rows row0 (top) and l (bottom) of C,
 /// tile columns [jbegin, jend). V and C may be the same matrix (trailing
 /// update) or different ones (factor accumulation); the compute type
-/// follows the target.
+/// follows the target. ApplyDir::Forward composes Q^T (factorization
+/// order); Backward walks both the row chain and each tile's reflectors in
+/// reverse, composing Q.
 template <class TS, class TA>
 void tsmqr_impl(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
                 MatrixView<TA> C, index_t row0, index_t k, index_t lbegin,
                 index_t lend, index_t jbegin, index_t jend,
                 const KernelConfig& cfg, ka::Stage stage,
-                ka::StageTimes* times) {
+                ka::StageTimes* times, ApplyDir dir = ApplyDir::Forward) {
   using CT = compute_t<TA>;
   const int ts = cfg.tilesize;
   const int cpb = cfg.colperblock;
@@ -80,7 +82,9 @@ void tsmqr_impl(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
       for (int r = 0; r < ts; ++r) y[r] = static_cast<CT>(C.at(rtop + r, c));
     });
 
-    for (index_t l = lbegin; l < lend; ++l) {
+    for (index_t lstep = lbegin; lstep < lend; ++lstep) {
+      const index_t l =
+          dir == ApplyDir::Forward ? lstep : lend - 1 - (lstep - lbegin);
       const index_t rbot = l * ts;
 
       wg.items([&](int t) {
@@ -93,7 +97,8 @@ void tsmqr_impl(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
         for (int r = 0; r < ts; ++r) x[r] = static_cast<CT>(C.at(rbot + r, c));
       });
 
-      for (int kk = 0; kk < ts; ++kk) {
+      for (int step = 0; step < ts; ++step) {
+        const int kk = dir == ApplyDir::Forward ? step : ts - 1 - step;
         wg.items([&](int t) {  // stage reflector tail v_kk (full B column)
           for (int idx = t; idx < ts; idx += cpb) {
             Ak[idx] = static_cast<CT>(V.at(rbot + idx, cbase + kk));
@@ -156,6 +161,21 @@ void tsmqr_apply(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
                  const KernelConfig& cfg, ka::StageTimes* times = nullptr) {
   detail::tsmqr_impl(be, V, Tau, C, row0, k, lbegin, lend, jbegin, jend, cfg,
                      ka::Stage::VectorAccumulation, times);
+}
+
+/// Backward (un-transposed) application: C <- Q * C for the TSQRT reflector
+/// sets of tiles (l, k), l in [lbegin, lend) — the same kernel body as
+/// tsmqr_apply with BOTH the row chain and each tile's reflector loop
+/// reversed (each Householder factor is symmetric, so reverse order
+/// composes Q instead of Q^T). Used by the randomized truncated SVD
+/// (src/rsvd) to expand the implicit range basis Q onto projected factors.
+template <class TS, class TA>
+void tsmqr_apply_q(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
+                   MatrixView<TA> C, index_t row0, index_t k, index_t lbegin,
+                   index_t lend, index_t jbegin, index_t jend,
+                   const KernelConfig& cfg, ka::StageTimes* times = nullptr) {
+  detail::tsmqr_impl(be, V, Tau, C, row0, k, lbegin, lend, jbegin, jend, cfg,
+                     ka::Stage::VectorAccumulation, times, ApplyDir::Backward);
 }
 
 }  // namespace unisvd::qr

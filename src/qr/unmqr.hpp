@@ -31,15 +31,16 @@ namespace unisvd::qr {
 
 namespace detail {
 
-/// Apply Q^T of GEQRT(tile (row0, k) of V, tau row row0 of Tau) to tile
-/// row row0 of C, tile columns [jbegin, jend). V and C may be the same
-/// matrix (trailing update) or different ones (factor accumulation); the
-/// compute type follows the target.
+/// Apply Q^T (ApplyDir::Forward) or Q (Backward) of GEQRT(tile (row0, k) of
+/// V, tau row row0 of Tau) to tile row row0 of C, tile columns
+/// [jbegin, jend). V and C may be the same matrix (trailing update) or
+/// different ones (factor accumulation); the compute type follows the
+/// target.
 template <class TS, class TA>
 void unmqr_impl(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
                 MatrixView<TA> C, index_t row0, index_t k, index_t jbegin,
                 index_t jend, const KernelConfig& cfg, ka::Stage stage,
-                ka::StageTimes* times) {
+                ka::StageTimes* times, ApplyDir dir = ApplyDir::Forward) {
   using CT = compute_t<TA>;
   const int ts = cfg.tilesize;
   const int cpb = cfg.colperblock;
@@ -81,7 +82,10 @@ void unmqr_impl(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
       for (int r = 0; r < ts; ++r) x[r] = static_cast<CT>(C.at(rbase + r, c));
     });
 
-    for (int kk = 0; kk + 1 < ts; ++kk) {
+    for (int step = 0; step + 1 < ts; ++step) {
+      // Forward composes Q^T (factorization order); Backward composes Q by
+      // walking the same symmetric reflectors in reverse.
+      const int kk = dir == ApplyDir::Forward ? step : ts - 2 - step;
       wg.items([&](int t) {  // stage Householder column kk
         for (int idx = t; idx < ts; idx += cpb) {
           Ak[idx] = static_cast<CT>(V.at(rbase + idx, cbase + kk));
@@ -134,6 +138,21 @@ void unmqr_apply(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
                  ka::StageTimes* times = nullptr) {
   detail::unmqr_impl(be, V, Tau, C, row0, k, jbegin, jend, cfg,
                      ka::Stage::VectorAccumulation, times);
+}
+
+/// Backward (un-transposed) application: C <- Q * C for the GEQRT reflector
+/// set of tile (row0, k) of `V` — the same kernel body as unmqr_apply with
+/// the reflector loop reversed (each Householder factor is symmetric, so
+/// reversing the order composes Q instead of Q^T). Used by the randomized
+/// truncated SVD (src/rsvd) to expand the implicit range basis Q onto the
+/// projected factors, the role LAPACK's ORMQR with trans='N' plays.
+template <class TS, class TA>
+void unmqr_apply_q(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
+                   MatrixView<TA> C, index_t row0, index_t k, index_t jbegin,
+                   index_t jend, const KernelConfig& cfg,
+                   ka::StageTimes* times = nullptr) {
+  detail::unmqr_impl(be, V, Tau, C, row0, k, jbegin, jend, cfg,
+                     ka::Stage::VectorAccumulation, times, ApplyDir::Backward);
 }
 
 }  // namespace unisvd::qr

@@ -1,0 +1,92 @@
+#pragma once
+/// \file gemm.hpp
+/// Sketch GEMM kernel: Y = (A / scale) * Omega through the ka:: launch
+/// path — the randomized range finder's only dense product (everything
+/// downstream reuses the tiled QR kernels).
+///
+/// Grid: one workgroup per (row tile, column block) of Y; COLPERBLOCK
+/// work-items per group, each owning one output column of the tile in
+/// private memory ("registers"). Per reduction step the work-item reads one
+/// Omega element and streams a contiguous column segment of A — the
+/// column-major-friendly axpy ordering. Accumulation runs in the compute
+/// precision; the store into Y rounds once (storage precision), matching
+/// the pipeline's upcast/downcast policy.
+///
+/// Launches go through Backend::launch like every Stage-1 kernel, so
+/// batched scheduling applies unchanged: inter-problem slots run the
+/// sketch inline, Mixed-schedule slots publish its workgroups for stealing.
+
+#include "common/matrix.hpp"
+#include "common/precision.hpp"
+#include "ka/backend.hpp"
+#include "ka/stage_times.hpp"
+#include "qr/kernel_config.hpp"
+
+namespace unisvd::rsvd {
+
+/// y(0:m, 0:l) = a * omega / scale, with a m x n (any storage type, lazy
+/// transpose respected), omega n x l in compute precision, y at least
+/// m x l (padding rows/columns beyond m x l are left untouched — callers
+/// zero-fill them). scale == 1 skips the division exactly.
+template <class T>
+void sketch_gemm(ka::Backend& be, ConstMatrixView<T> a,
+                 ConstMatrixView<compute_t<T>> omega, MatrixView<T> y,
+                 double scale, const qr::KernelConfig& cfg,
+                 ka::StageTimes* times = nullptr) {
+  using CT = compute_t<T>;
+  UNISVD_REQUIRE(a.cols() == omega.rows(), "sketch_gemm: inner extents differ");
+  UNISVD_REQUIRE(y.rows() >= a.rows() && y.cols() >= omega.cols(),
+                 "sketch_gemm: output too small");
+  const int ts = cfg.tilesize;
+  const int cpb = cfg.colperblock;
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t l = omega.cols();
+  const index_t row_tiles = (m + ts - 1) / ts;
+  const index_t col_blocks = (l + cpb - 1) / cpb;
+  const auto s = static_cast<CT>(scale);
+
+  ka::LaunchDesc desc;
+  desc.name = "sketch_gemm";
+  desc.stage = ka::Stage::RandomizedSketch;
+  desc.num_groups = row_tiles * col_blocks;
+  desc.group_size = cpb;
+  desc.local_bytes = 0;
+  desc.private_bytes_per_item = static_cast<std::size_t>(ts) * sizeof(CT);
+  desc.precision = precision_of<T>;
+  desc.cost.flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                    static_cast<double>(l);
+  desc.cost.bytes_read = static_cast<double>(col_blocks) * m * n * sizeof(T) +
+                         static_cast<double>(row_tiles) * n * l * sizeof(CT);
+  desc.cost.bytes_written = static_cast<double>(m) * l * sizeof(T);
+  desc.cost.serial_iterations = static_cast<double>(n);
+
+  ka::timed_launch(be, desc, [=](ka::WorkGroupCtx& wg) {
+    auto Yi = wg.priv<CT>(static_cast<std::size_t>(ts));
+    const index_t rt = wg.group_id() % row_tiles;
+    const index_t cb = wg.group_id() / row_tiles;
+    const index_t rbase = rt * ts;
+    const index_t rend = std::min<index_t>(m, rbase + ts);
+    const index_t cg0 = cb * cpb;
+
+    wg.items([&](int t) {
+      const index_t c = cg0 + t;
+      if (c >= l) return;
+      auto acc = Yi(t);
+      for (int r = 0; r < ts; ++r) acc[r] = CT(0);
+      for (index_t kk = 0; kk < n; ++kk) {
+        const CT w = omega.at(kk, c);
+        if (w == CT(0)) continue;
+        for (index_t r = rbase; r < rend; ++r) {
+          acc[r - rbase] += static_cast<CT>(a.at(r, kk)) * w;
+        }
+      }
+      for (index_t r = rbase; r < rend; ++r) {
+        const CT v = scale == 1.0 ? acc[r - rbase] : acc[r - rbase] / s;
+        y.at(r, c) = static_cast<T>(v);
+      }
+    });
+  }, times);
+}
+
+}  // namespace unisvd::rsvd

@@ -1,0 +1,103 @@
+#pragma once
+/// \file panel_qr.hpp
+/// Tall-panel QR for the randomized range finder, built from the SAME
+/// GEQRT/TSQRT/UNMQR/TSMQR kernels as the dense pipeline's tall_qr — with
+/// two additions tall_qr does not need:
+///
+///   1. Every sweep keeps its OWN tau block (tall_qr reuses one workspace
+///      per sweep because the dense pipeline consumes reflectors
+///      immediately). Retaining them makes the factorization replayable:
+///      the implicit Q can be applied later, in either direction.
+///   2. panel_apply_q replays the sweeps BACKWARD through the new
+///      ApplyDir::Backward kernel variants, composing C <- Q * C — the
+///      ORGQR/ORMQR(trans='N') role. This is how the truncated SVD expands
+///      the small projected factor U~ to U = Q * U~ without ever
+///      materializing Q (m_pad x m_pad) explicitly.
+///
+/// Like tall_qr, an optional compute-precision side target `acc` receives
+/// Q^T * acc interleaved with the factorization (qr_sweep's accumulator
+/// hook). The range finder passes a padded copy of A here, so ONE pass
+/// yields both the factored panel and the projection B = Q_full^T A.
+
+#include "common/matrix.hpp"
+#include "common/precision.hpp"
+#include "ka/backend.hpp"
+#include "ka/stage_times.hpp"
+#include "qr/band_reduction.hpp"
+
+namespace unisvd::rsvd {
+
+/// Rows the stacked tau workspace of panel_qr_factor needs for an
+/// (ntrows x ntcols)-tile panel: one (ntrows x TILESIZE) block per sweep.
+[[nodiscard]] constexpr index_t panel_tau_rows(index_t ntrows,
+                                               index_t ntcols) noexcept {
+  return ntrows * ntcols;
+}
+
+/// Factor a tall padded panel A (rows >= cols, both TILESIZE multiples) by
+/// column sweeps, retaining every sweep's reflectors: on exit A holds R in
+/// its top triangle and the Householder tails below, and TauAll (at least
+/// panel_tau_rows(ntrows, ntcols) x TILESIZE) holds one tau block per
+/// sweep, stacked by sweep index. When `acc` is non-null (compute
+/// precision, >= A.rows() rows, TILESIZE-multiple columns) it becomes
+/// Q_full^T * acc — same contract as tall_qr's accumulator.
+template <class T>
+void panel_qr_factor(ka::Backend& be, MatrixView<T> A, MatrixView<T> TauAll,
+                     const qr::KernelConfig& cfg,
+                     ka::StageTimes* times = nullptr,
+                     MatrixView<compute_t<T>>* acc = nullptr) {
+  cfg.validate();
+  UNISVD_REQUIRE(A.rows() >= A.cols(),
+                 "panel_qr_factor: panel must be tall (rows >= cols)");
+  UNISVD_REQUIRE(A.rows() % cfg.tilesize == 0 && A.cols() % cfg.tilesize == 0,
+                 "panel_qr_factor: extents must be multiples of TILESIZE");
+  const index_t ntrows = A.rows() / cfg.tilesize;
+  const index_t ntcols = A.cols() / cfg.tilesize;
+  UNISVD_REQUIRE(TauAll.rows() >= panel_tau_rows(ntrows, ntcols) &&
+                     TauAll.cols() >= cfg.tilesize,
+                 "panel_qr_factor: TauAll workspace too small");
+  for (index_t k = 0; k < ntcols; ++k) {
+    MatrixView<T> tau = TauAll.block(k * ntrows, 0, ntrows, cfg.tilesize);
+    qr::qr_sweep(be, A, tau, k, k, ntrows, ntcols, cfg, times, acc);
+  }
+}
+
+/// C <- Q * C for the factorization left in (A, TauAll) by panel_qr_factor.
+/// C is compute-precision (or any storage type), >= A.rows() rows and a
+/// TILESIZE multiple of columns. The replay runs the sweeps in reverse —
+/// last panel column first, TSQRT chain before GEQRT, rows descending —
+/// with each kernel in ApplyDir::Backward, exactly inverting the forward
+/// (Q^T) application order.
+template <class TS, class TA>
+void panel_apply_q(ka::Backend& be, MatrixView<TS> A, MatrixView<TS> TauAll,
+                   MatrixView<TA> C, const qr::KernelConfig& cfg,
+                   ka::StageTimes* times = nullptr) {
+  cfg.validate();
+  UNISVD_REQUIRE(A.rows() % cfg.tilesize == 0 && A.cols() % cfg.tilesize == 0,
+                 "panel_apply_q: extents must be multiples of TILESIZE");
+  UNISVD_REQUIRE(C.rows() >= A.rows() && C.cols() % cfg.tilesize == 0,
+                 "panel_apply_q: target must cover the panel rows and be a "
+                 "TILESIZE multiple of columns");
+  const index_t ntrows = A.rows() / cfg.tilesize;
+  const index_t ntcols = A.cols() / cfg.tilesize;
+  UNISVD_REQUIRE(TauAll.rows() >= panel_tau_rows(ntrows, ntcols) &&
+                     TauAll.cols() >= cfg.tilesize,
+                 "panel_apply_q: TauAll workspace too small");
+  const index_t cnt = C.cols() / cfg.tilesize;
+  for (index_t k = ntcols; k-- > 0;) {
+    MatrixView<TS> tau = TauAll.block(k * ntrows, 0, ntrows, cfg.tilesize);
+    if (k + 1 < ntrows) {
+      if (cfg.fused) {
+        qr::tsmqr_apply_q(be, A, tau, C, k, k, k + 1, ntrows, 0, cnt, cfg,
+                          times);
+      } else {
+        for (index_t l = ntrows; l-- > k + 1;) {
+          qr::tsmqr_apply_q(be, A, tau, C, k, k, l, l + 1, 0, cnt, cfg, times);
+        }
+      }
+    }
+    qr::unmqr_apply_q(be, A, tau, C, k, k, 0, cnt, cfg, times);
+  }
+}
+
+}  // namespace unisvd::rsvd

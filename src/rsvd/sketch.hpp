@@ -1,0 +1,40 @@
+#pragma once
+/// \file sketch.hpp
+/// Gaussian sketching for the randomized truncated SVD (src/rsvd).
+///
+/// The range finder draws a dense i.i.d. N(0,1) test matrix Omega (n x l)
+/// from the repo's deterministic xoshiro256** stream: one seed fixes the
+/// whole sketch, so svd_truncated is bit-reproducible across runs, thread
+/// counts and batch schedules (the generator is serial; all randomness is
+/// consumed before any kernel launches).
+///
+/// Omega lives in the COMPUTE precision of the storage type (FP32 for FP16
+/// inputs): the sketch product Y = A * Omega accumulates in compute
+/// precision and rounds once at the store, matching the pipeline's
+/// upcast-at-compute / downcast-at-store policy.
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "rand/rng.hpp"
+
+namespace unisvd::rsvd {
+
+/// Dense i.i.d. standard-normal test matrix (column-major fill order, so
+/// growing `cols` extends the sketch without changing existing columns —
+/// the adaptive-rank mode reuses the stream prefix when it doubles the
+/// sketch).
+template <class CT>
+[[nodiscard]] Matrix<CT> gaussian_sketch(index_t rows, index_t cols,
+                                         std::uint64_t seed) {
+  Matrix<CT> omega(rows, cols);
+  rnd::Xoshiro256 rng(seed);
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) {
+      omega(i, j) = static_cast<CT>(rng.normal());
+    }
+  }
+  return omega;
+}
+
+}  // namespace unisvd::rsvd

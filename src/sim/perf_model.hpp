@@ -42,6 +42,9 @@ struct SimBreakdown {
       case ka::Stage::BandToBidiagonal: band2bidiag += t; break;
       case ka::Stage::BidiagonalToDiagonal: bidiag2diag += t; break;
       case ka::Stage::VectorAccumulation: vector_acc += t; break;
+      // The dense pipeline never emits sketch launches; the randomized
+      // pipeline (src/rsvd) is not simulated on device models yet.
+      case ka::Stage::RandomizedSketch: break;
       case ka::Stage::kCount: break;
     }
   }

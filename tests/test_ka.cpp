@@ -299,6 +299,105 @@ TEST(ThreadPool, NestedStaysInlineWithoutWorkStealing) {
   EXPECT_EQ(off_thread.load(), 0);
 }
 
+TEST(ThreadPool, ChunkedStealingDefaultsOn) {
+  // The chunked granularity is the default for work-stealing jobs (one
+  // atomic claim per half-remainder block instead of per workgroup).
+  const ka::ParallelForOptions opts;
+  EXPECT_TRUE(opts.chunked_stealing);
+}
+
+TEST(ThreadPool, ChunkedStealingEveryIterationExactlyOnceBothGranularities) {
+  // Property: whatever the steal granularity (half-remainder ranges or
+  // single indices), every top-level and nested index executes exactly
+  // once. The nested range is large so chunked claims really hand out
+  // multi-index blocks (first steal takes up to half of 256).
+  ka::ThreadPool pool(4);
+  for (const bool chunked : {true, false}) {
+    ka::ParallelForOptions opts;
+    opts.work_stealing = true;
+    opts.chunked_stealing = chunked;
+    for (int rep = 0; rep < 15; ++rep) {
+      constexpr index_t kOuter = 8;
+      constexpr index_t kInner = 256;
+      std::vector<std::atomic<int>> outer_hits(kOuter);
+      std::vector<std::atomic<int>> inner_hits(kOuter * kInner);
+      pool.parallel_for(
+          kOuter,
+          [&](index_t o) {
+            outer_hits[static_cast<std::size_t>(o)]++;
+            if (o < 2) {  // two "large problems" publish nested ranges
+              pool.parallel_for(kInner, [&](index_t i) {
+                inner_hits[static_cast<std::size_t>(o * kInner + i)]++;
+              });
+            }
+          },
+          opts);
+      for (auto& h : outer_hits) ASSERT_EQ(h.load(), 1) << "chunked " << chunked;
+      for (index_t o = 0; o < 2; ++o) {
+        for (index_t i = 0; i < kInner; ++i) {
+          ASSERT_EQ(inner_hits[static_cast<std::size_t>(o * kInner + i)].load(), 1)
+              << "chunked " << chunked << " outer " << o << " inner " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkedStealingSpreadsNestedRangeAcrossThreads) {
+  // With a blocking rendezvous inside a published nested range, chunked
+  // stealing must still hand iterations to at least two distinct threads
+  // (the first helper claims a block, the owner keeps draining singles).
+  ka::ThreadPool pool(4);
+  ka::ParallelForOptions opts;
+  opts.work_stealing = true;
+  opts.chunked_stealing = true;
+  std::mutex m;
+  std::condition_variable cv;
+  int entered = 0;
+  std::set<std::thread::id> nested_ids;
+  bool timed_out = false;
+  pool.parallel_for(
+      2,
+      [&](index_t o) {
+        if (o != 0) return;
+        pool.parallel_for(2, [&](index_t) {
+          std::unique_lock lock(m);
+          nested_ids.insert(std::this_thread::get_id());
+          ++entered;
+          cv.notify_all();
+          if (!cv.wait_for(lock, std::chrono::seconds(20), [&] { return entered >= 2; })) {
+            timed_out = true;
+          }
+        });
+      },
+      opts);
+  EXPECT_FALSE(timed_out);
+  EXPECT_GE(nested_ids.size(), 2u);
+}
+
+TEST(ThreadPool, ChunkedStealingPropagatesNestedExceptions) {
+  // Failure bookkeeping is shared between granularities: a throw inside a
+  // chunk-claimed block must surface at the nested caller and the pool must
+  // stay usable.
+  ka::ThreadPool pool(4);
+  ka::ParallelForOptions opts;
+  opts.work_stealing = true;
+  opts.chunked_stealing = true;
+  EXPECT_THROW(pool.parallel_for(
+                   2,
+                   [&](index_t o) {
+                     pool.parallel_for(200, [&](index_t i) {
+                       if (o == 0 && i == 150) throw Error("chunked boom");
+                     });
+                   },
+                   opts),
+               Error);
+  std::atomic<int> n{0};
+  pool.parallel_for(
+      3, [&](index_t) { pool.parallel_for(10, [&](index_t) { n++; }); }, opts);
+  EXPECT_EQ(n.load(), 30);
+}
+
 TEST(ThreadPool, DistributesAcrossThreads) {
   // Rendezvous: the first iteration blocks until a second thread has
   // entered the job, proving at least two distinct threads execute it (the

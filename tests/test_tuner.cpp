@@ -173,6 +173,89 @@ TEST(TuningTable, RejectsInvalidEntries) {
   qr::KernelConfig bad;
   bad.tilesize = 3;
   EXPECT_THROW(table.set_kernels("cpu", Precision::FP32, bad), Error);
+  EXPECT_THROW(
+      table.set_rsvd("cpu", Precision::FP32, core::TuningTable::RsvdDefaults{-1, 2}),
+      Error);
+  EXPECT_THROW(
+      table.set_rsvd("a b", Precision::FP32, core::TuningTable::RsvdDefaults{}),
+      Error);
+}
+
+TEST(TuningTable, RsvdEntriesRoundTripWithFallbacks) {
+  core::TuningTable table;
+  table.set_rsvd("cpu", Precision::FP32, core::TuningTable::RsvdDefaults{12, 1});
+  table.set_rsvd("serial", Precision::FP64, core::TuningTable::RsvdDefaults{4, 3});
+  const std::string path = temp_path("unisvd_tuning_rsvd.txt");
+  ASSERT_TRUE(table.save(path));
+
+  const auto loaded = core::TuningTable::load(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto hit = loaded.rsvd("cpu", Precision::FP32);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->oversample, 12);
+  EXPECT_EQ(hit->power_iters, 1);
+  // Nearest-precision fallback (FP16 prefers the FP32 entry).
+  EXPECT_EQ(loaded.rsvd_or("cpu", Precision::FP16,
+                           core::TuningTable::RsvdDefaults{})
+                .oversample,
+            12);
+  // Unknown backend keeps the caller's default.
+  EXPECT_EQ(loaded.rsvd_or("gpu-sim", Precision::FP32,
+                           core::TuningTable::RsvdDefaults{7, 5})
+                .power_iters,
+            5);
+  EXPECT_FALSE(loaded.rsvd("cpu", Precision::FP64).has_value());
+}
+
+TEST(TuningTable, TunedTruncConfigAppliesMeasuredDefaults) {
+  core::TuningTable table;
+  table.set_rsvd("cpu", Precision::FP32, core::TuningTable::RsvdDefaults{16, 1});
+  qr::KernelConfig kc;
+  kc.tilesize = 16;
+  kc.colperblock = 8;
+  table.set_kernels("cpu", Precision::FP32, kc);
+
+  ka::CpuBackend backend(2);
+  TruncConfig base;
+  base.rank = 9;
+  base.seed = 99;
+  const TruncConfig tuned =
+      core::tuned_trunc_config(table, backend, Precision::FP32, base);
+  EXPECT_EQ(tuned.oversample, 16);
+  EXPECT_EQ(tuned.power_iters, 1);
+  EXPECT_EQ(tuned.svd.kernels.tilesize, 16);
+  // Untuned fields pass through.
+  EXPECT_EQ(tuned.rank, 9);
+  EXPECT_EQ(tuned.seed, 99u);
+  // Nothing measured: base comes back unchanged.
+  const TruncConfig untouched = core::tuned_trunc_config(
+      core::TuningTable{}, backend, Precision::FP32, base);
+  EXPECT_EQ(untouched.oversample, base.oversample);
+  EXPECT_EQ(untouched.power_iters, base.power_iters);
+}
+
+TEST(Tuner, LearnRsvdFeedsTableAndStaysAccurate) {
+  // A tiny probe keeps this fast: the learner must deposit SOME candidate
+  // for the backend/precision, and every recorded sample must carry a
+  // finite timing and residual (the accuracy gate saw real numbers).
+  ka::CpuBackend backend(2);
+  const auto result = core::tune_rsvd<float>(backend, 96, 48, 8,
+                                             {{4, 0}, {4, 1}, {8, 1}}, 1, 2.0, 7);
+  ASSERT_EQ(result.samples.size(), 3u);
+  bool any_accurate = false;
+  for (const auto& s : result.samples) {
+    EXPECT_TRUE(std::isfinite(s.seconds));
+    EXPECT_TRUE(std::isfinite(s.residual));
+    any_accurate = any_accurate || s.accurate;
+  }
+  EXPECT_TRUE(any_accurate);  // power_iters >= 1 must pass the gate here
+
+  core::TuningTable table;
+  const auto best = core::learn_rsvd<float>(table, backend, 96, 48, 8, 1, 2.0, 7);
+  const auto stored = table.rsvd(backend.name(), Precision::FP32);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(stored->oversample, best.oversample);
+  EXPECT_EQ(stored->power_iters, best.power_iters);
 }
 
 TEST(TuningTable, LearnBatchCrossoverFeedsTableAndTunedConfig) {
