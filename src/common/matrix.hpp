@@ -8,7 +8,10 @@
 /// uses (`A'`) to express LQ sweeps through the QR kernels.
 
 #include <algorithm>
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/error.hpp"
@@ -19,6 +22,84 @@ namespace unisvd {
 /// addressing is 64-bit (the paper calls out vendor libraries still lacking
 /// 64-bit addressing in their SVD routines).
 using index_t = std::int64_t;
+
+// ---------------------------------------------------------------------------
+// Allocation accounting: every Matrix<T> buffer is counted into a process-
+// wide live-bytes gauge with a high-water mark. This is how memory claims
+// become testable facts — e.g. the QR-first tall path's guarantee that a
+// Thin solve peaks at O(m_pad * n_pad) accumulator bytes instead of
+// O(m_pad^2) is asserted against matrix_peak_bytes() in the test suite.
+// Counters are atomic (batched solvers allocate concurrently) and cost one
+// relaxed RMW per allocation — noise next to the fill that follows.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+inline std::atomic<std::size_t>& matrix_live_counter() noexcept {
+  static std::atomic<std::size_t> live{0};
+  return live;
+}
+inline std::atomic<std::size_t>& matrix_peak_counter() noexcept {
+  static std::atomic<std::size_t> peak{0};
+  return peak;
+}
+
+}  // namespace detail
+
+/// Bytes currently held by live Matrix<T> buffers, process-wide.
+[[nodiscard]] inline std::size_t matrix_live_bytes() noexcept {
+  return detail::matrix_live_counter().load(std::memory_order_relaxed);
+}
+
+/// High-water mark of matrix_live_bytes() since the last matrix_reset_peak()
+/// (or process start).
+[[nodiscard]] inline std::size_t matrix_peak_bytes() noexcept {
+  return detail::matrix_peak_counter().load(std::memory_order_relaxed);
+}
+
+/// Reset the high-water mark to the current live footprint. Call before the
+/// region whose peak you want to measure.
+inline void matrix_reset_peak() noexcept {
+  detail::matrix_peak_counter().store(matrix_live_bytes(),
+                                      std::memory_order_relaxed);
+}
+
+/// Counting allocator behind Matrix<T>'s storage: books (de)allocations into
+/// the live/peak gauges above, otherwise std::allocator. Stateless — all
+/// instances are interchangeable.
+template <class T>
+struct MatrixAllocator {
+  using value_type = T;
+
+  MatrixAllocator() = default;
+  template <class U>
+  MatrixAllocator(const MatrixAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    // Allocate FIRST: a std::bad_alloc must not leave phantom bytes in the
+    // gauges (batched Isolate keeps the process alive after one).
+    T* p = std::allocator<T>{}.allocate(n);
+    const std::size_t bytes = n * sizeof(T);
+    const std::size_t live =
+        detail::matrix_live_counter().fetch_add(bytes, std::memory_order_relaxed) +
+        bytes;
+    auto& peak = detail::matrix_peak_counter();
+    std::size_t seen = peak.load(std::memory_order_relaxed);
+    while (seen < live &&
+           !peak.compare_exchange_weak(seen, live, std::memory_order_relaxed)) {
+    }
+    return p;
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    detail::matrix_live_counter().fetch_sub(n * sizeof(T),
+                                            std::memory_order_relaxed);
+    std::allocator<T>{}.deallocate(p, n);
+  }
+
+  friend bool operator==(const MatrixAllocator&, const MatrixAllocator&) noexcept {
+    return true;
+  }
+};
 
 template <class T>
 class MatrixView;
@@ -65,7 +146,7 @@ class Matrix {
 
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<T> data_;
+  std::vector<T, MatrixAllocator<T>> data_;
 };
 
 /// Non-owning mutable view with leading dimension and lazy-transpose flag.

@@ -282,6 +282,11 @@ TruncBatchReport svd_truncated_batched_report(
                             [&](const ConstMatrixView<T>& a) {
                               TruncConfig cfg = trunc;
                               cfg.svd.check_finite = false;  // verified above
+                              // Decorrelate the Gaussian sketches across the
+                              // batch: one adversarial draw must not fail
+                              // every problem at once. Deterministic per
+                              // (seed, p) whatever the schedule.
+                              cfg.seed = trunc_problem_seed(trunc.seed, p);
                               return svd_truncated_report<T>(a, cfg, backend);
                             });
       });

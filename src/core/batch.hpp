@@ -43,12 +43,32 @@
 ///   auto sigma = svd_values_batched<float>(batch);   // sigma[i] ~ batch[i]
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/svd.hpp"
 
 namespace unisvd {
+
+/// Sketch seed of problem `problem_index` inside a batched truncated solve
+/// with base seed `base_seed` (TruncConfig::seed): a SplitMix64-style mix
+/// of the two, so every problem draws a DECORRELATED Gaussian sketch —
+/// sharing one sketch across a batch would make all problems fail together
+/// on an input adversarial to that particular draw. Deterministic per
+/// (base_seed, problem_index), independent of schedule and thread count;
+/// pass the derived seed to a solo svd_truncated call to reproduce one
+/// batch entry exactly.
+[[nodiscard]] constexpr std::uint64_t trunc_problem_seed(
+    std::uint64_t base_seed, std::size_t problem_index) noexcept {
+  // SplitMix64 finalizer over base + (index+1) * golden-gamma; the +1 keeps
+  // problem 0 decorrelated from a solo call made with the raw base seed.
+  std::uint64_t z =
+      base_seed + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(problem_index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
 
 /// How the problems of a batch map onto execution resources.
 enum class BatchSchedule {
@@ -262,8 +282,10 @@ struct TruncBatchReport {
 
 /// Batched randomized truncated SVD with diagnostics: every problem is
 /// solved by svd_truncated_report under `trunc` (rank, oversample, power
-/// iterations, adaptive tol, seed — the sketch seed is shared, so each
-/// problem's result is identical to a solo svd_truncated call). `config`
+/// iterations, adaptive tol). The sketch seed is NOT shared: problem p runs
+/// under trunc_problem_seed(trunc.seed, p), so each problem draws its own
+/// deterministic Gaussian sketch and matches the solo svd_truncated call
+/// made with that derived seed. `config`
 /// supplies the SCHEDULING side only — BatchSchedule (Auto/Inter/Intra/
 /// Mixed work stealing), crossover, and ErrorPolicy; its `svd` member is
 /// ignored in favor of trunc.svd. Under Isolate a failed problem records

@@ -10,6 +10,7 @@
 #include "common/half.hpp"
 #include "common/linalg_ref.hpp"
 #include "qr/band_reduction.hpp"
+#include "qr/panel_qr.hpp"
 #include "tile/tile_layout.hpp"
 
 namespace unisvd {
@@ -77,6 +78,123 @@ std::vector<index_t> select_real_rows(const Matrix<CT>& acc, index_t real,
   return rows;
 }
 
+/// The QR-first tall path (vector jobs, aspect >= SvdConfig::
+/// qr_first_aspect). Instead of threading an m_pad x m_pad left accumulator
+/// through Stages 1-3, factor the tall orientation A/scale = Q R with the
+/// REPLAYABLE tall-panel QR (every sweep's tau block retained), solve the
+/// small n x n R factor by the ordinary square pipeline — whose band is
+/// bit-identical to the generic tall path's, so the singular values are too
+/// — and compose U = Q * U_R by replaying the reflectors backward onto an
+/// m_pad x n_pad target (panel_apply_q). Peak left-side memory drops from
+/// O(m_pad^2) to O(m_pad * n_pad): the panel, its tau blocks, and the
+/// composition target are the only m_pad-row buffers.
+///
+/// `at` is the tall orientation (rows >= cols); `wide` records whether the
+/// caller's input was transposed into it, so the factors swap back at
+/// extraction exactly as in the generic path.
+template <class T>
+SvdReport qr_first_solve(ConstMatrixView<T> at, bool wide,
+                         const SvdConfig& config, ka::Backend& backend) {
+  using CT = compute_t<T>;
+  const index_t m = at.rows();
+  const index_t n = at.cols();
+
+  SvdReport rep;
+  rep.qr_first = true;
+  if (config.auto_scale) {
+    rep.scale_factor = ref::auto_scale_divisor(at);
+  }
+
+  const int ts = config.kernels.tilesize;
+  const index_t npad = tile::TileLayout::make(n, ts).n;
+  const index_t mpad = tile::TileLayout::make(m, ts).n;
+  rep.padded_n = npad;
+
+  // Tall-panel QR with retained reflectors: A/scale = Q R, Q implicit.
+  Matrix<T> work(mpad, npad, T(0));
+  copy_scaled(at, work, rep.scale_factor);
+  Matrix<T> tau_all(qr::panel_tau_rows(mpad / ts, npad / ts), ts, T(0));
+  qr::panel_qr_factor<T>(backend, work.view(), tau_all.view(), config.kernels,
+                         &rep.stage_times);
+
+  // Solve R (n x n, upper triangular) by the square pipeline. The recursive
+  // call re-pads R to the same n_pad grid the generic path reduces, with
+  // identical padded entries (the panel's padded columns factor to exact
+  // zeros), so the values stay bit-identical across paths. R is square, so
+  // a Thin job already yields the complete n x n U_R — Full only changes
+  // the composition below.
+  Matrix<T> r(n, n, T(0));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i <= j; ++i) {
+      r(i, j) = work(i, j);
+    }
+  }
+  SvdConfig inner = config;
+  inner.job = SvdJob::Thin;
+  inner.check_finite = false;  // validated by the caller
+  inner.auto_scale = false;    // the panel copy is already scaled
+  const SvdReport small = svd_values_report<T>(r.view(), inner, backend);
+  rep.stage_times += small.stage_times;
+  rep.chase_stats = small.chase_stats;
+  rep.values = small.values;
+  if (rep.scale_factor != 1.0) {
+    for (auto& v : rep.values) v *= rep.scale_factor;
+  }
+
+  // Compose U = Q * [U_R; 0] by backward reflector replay. The panel's
+  // padded rows are exactly zero, so every reflector component there is
+  // zero and Q acts as the identity on the padding subspace: columns stay
+  // free of padded-row mass, and for SvdJob::Full the identity-seeded
+  // columns j in [n, m) replay into Q's orthonormal completion directions
+  // (j in [m, mpad) would reproduce pure padding vectors, so they are
+  // neither seeded nor extracted).
+  const bool full = config.job == SvdJob::Full;
+  const index_t comp_cols = full ? mpad : npad;
+  Matrix<CT> comp(mpad, comp_cols, CT(0));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      comp(i, j) = static_cast<CT>(small.u(i, j));
+    }
+  }
+  if (full) {
+    for (index_t j = n; j < m; ++j) comp(j, j) = CT(1);
+  }
+  MatrixView<CT> comp_view = comp.view();
+  qr::panel_apply_q<T, CT>(backend, work.view(), tau_all.view(), comp_view,
+                           config.kernels, &rep.stage_times);
+
+  // Extraction epilogue (the replay's launches self-attributed above). In
+  // the tall orientation U = comp's first m (Full) or n (Thin) columns and
+  // V^T = the small problem's V^T; a wide input swaps the factor roles
+  // (A = at^T  =>  A's U = V_t, A's V^T = U_t^T).
+  const auto t0 = std::chrono::steady_clock::now();
+  const index_t ucols = full ? m : n;
+  if (!wide) {
+    rep.u = Matrix<double>(m, ucols);
+    for (index_t j = 0; j < ucols; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        rep.u(i, j) = static_cast<double>(comp(i, j));
+      }
+    }
+    rep.vt = small.vt;
+  } else {
+    rep.u = Matrix<double>(n, small.vt.rows());
+    for (index_t j = 0; j < rep.u.cols(); ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        rep.u(i, j) = small.vt(j, i);
+      }
+    }
+    rep.vt = Matrix<double>(ucols, m);
+    for (index_t j = 0; j < m; ++j) {
+      for (index_t i = 0; i < ucols; ++i) {
+        rep.vt(i, j) = static_cast<double>(comp(j, i));
+      }
+    }
+  }
+  rep.stage_times.add(ka::Stage::VectorAccumulation, seconds_since(t0));
+  return rep;
+}
+
 }  // namespace
 
 template <class T>
@@ -98,6 +216,16 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
   const ConstMatrixView<T> at = wide ? a.transposed() : a;
   const index_t m = at.rows();
   const index_t n = at.cols();
+
+  // QR-first tall path: vector jobs whose aspect ratio clears the tunable
+  // threshold compose two factorizations (tall-panel QR, then the square
+  // pipeline on R) instead of accumulating through an m_pad^2 buffer.
+  // ValuesOnly keeps the historic path byte-for-byte; its values match the
+  // QR-first ones bit-for-bit anyway (tested).
+  if (want_vectors && m > n &&
+      static_cast<double>(m) >= config.qr_first_aspect * static_cast<double>(n)) {
+    return qr_first_solve<T>(at, wide, config, backend);
+  }
 
   SvdReport rep;
   if (config.auto_scale) {

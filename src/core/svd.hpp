@@ -33,11 +33,11 @@ enum class SvdJob {
                ///< the historic svd_values behaviour (no accumulators are
                ///< allocated, no accumulation kernels launch)
   Thin,        ///< U is m x min(m, n), Vt is min(m, n) x n — the economy
-               ///< factorization that PCA / low-rank use. NOTE: the left
-               ///< accumulator is currently max(m,n)_pad^2 internally even
-               ///< for Thin, so very tall/wide inputs pay O(max(m,n)^2)
-               ///< memory during the solve (a thin-panel formulation is a
-               ///< ROADMAP open item)
+               ///< factorization that PCA / low-rank use. Tall (or wide, on
+               ///< the lazy transpose) inputs past SvdConfig::qr_first_aspect
+               ///< take the QR-first path, whose accumulators peak at
+               ///< O(m_pad * n_pad) instead of O(max(m,n)_pad^2); inputs
+               ///< below the threshold still pay the square accumulator
   Full         ///< U is m x m, Vt is n x n (orthonormal completions of the
                ///< thin factors; O(m^2) memory for tall inputs)
 };
@@ -74,8 +74,26 @@ struct SvdConfig {
   /// accumulators, Stage::VectorAccumulation timing) and fill
   /// SvdReport::u / SvdReport::vt. Values are bit-identical across jobs.
   SvdJob job = SvdJob::ValuesOnly;
+  /// Aspect-ratio threshold of the QR-first tall path (vector jobs only):
+  /// when max(m, n) >= qr_first_aspect * min(m, n), the solver factors the
+  /// tall orientation A = Q R with the replayable tall-panel QR
+  /// (qr/panel_qr.hpp), runs the three-stage pipeline on the small
+  /// n_pad x n_pad R factor, and composes U = Q * U_R by backward reflector
+  /// replay — cutting peak left-accumulator memory from O(m_pad^2) to
+  /// O(m_pad * n_pad) and skipping the m_pad-wide accumulation work in
+  /// Stages 1-3. Singular values are bit-identical to the generic path
+  /// (enforced by tests/test_qr_first.cpp). Set <= 1 to force the path for
+  /// every rectangular vector solve, or a huge value (e.g.
+  /// core::kQrFirstAspectNever) to disable it; core::learn_qr_first_aspect
+  /// measures and persists the crossover per backend/precision.
+  double qr_first_aspect = 1.6;
 
-  void validate() const { kernels.validate(); }
+  void validate() const {
+    kernels.validate();
+    UNISVD_REQUIRE(qr_first_aspect > 0.0 && qr_first_aspect == qr_first_aspect,
+                   "SvdConfig: qr_first_aspect must be positive (set a huge "
+                   "value to disable the QR-first path, not 0 or NaN)");
+  }
 };
 
 /// Outcome of one solve. The throwing entry points (svd_values,
@@ -113,6 +131,10 @@ struct SvdReport {
   ka::StageTimes stage_times;   ///< wall clock per pipeline stage
   band::ChaseStats chase_stats; ///< Stage-2 rotation counts
   index_t padded_n = 0;         ///< square working extent after padding
+  /// True when this solve took the QR-first tall path (vector job, aspect
+  /// ratio >= SvdConfig::qr_first_aspect): tall-panel QR, pipeline on R,
+  /// U = Q * U_R composed by backward reflector replay.
+  bool qr_first = false;
   double scale_factor = 1.0;    ///< auto_scale divisor applied to the input
   SvdStatus status = SvdStatus::Ok;  ///< per-problem outcome (batched Isolate)
   std::string status_message;   ///< empty when Ok; human-readable reason otherwise
@@ -267,7 +289,11 @@ struct TruncReport {
   index_t rank = 0;             ///< k actually returned
   index_t sketch_cols = 0;      ///< Gaussian test vectors used (l = k + p)
   int power_iters = 0;          ///< subspace iterations actually run
-  int adaptive_rounds = 0;      ///< sketch growths in adaptive mode (0 = first fit)
+  /// Sketch rounds EXECUTED, across every exit: 1 for a fixed-rank solve or
+  /// an adaptive first fit, +1 per adaptive growth retry, and 0 only when
+  /// the solver fell back to the dense pipeline before sketching at all.
+  /// The max-rank dense fallback counts the rounds whose sketches ran.
+  int adaptive_rounds = 0;
   bool dense_fallback = false;  ///< solved by the dense pipeline (sketch would
                                 ///< not have been smaller than the problem)
   /// Estimate of sigma_{k+1}(A) — the (k+1)-th value of the projected

@@ -1,12 +1,22 @@
 #include "core/tuner.hpp"
 
+#ifdef _WIN32
+#include <process.h>
+#define UNISVD_GETPID ::_getpid
+#else
+#include <unistd.h>
+#define UNISVD_GETPID ::getpid
+#endif
+
 #include <algorithm>
+#include <atomic>
 #include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <optional>
 #include <sstream>
@@ -285,6 +295,30 @@ TuningTable::RsvdDefaults TuningTable::rsvd_or(std::string_view backend, Precisi
   return hit != nullptr ? *hit : fallback;
 }
 
+void TuningTable::set_qr_first_aspect(std::string_view backend, Precision p,
+                                      double aspect) {
+  UNISVD_REQUIRE(std::isfinite(aspect) && aspect > 0.0,
+                 "TuningTable: qr_first aspect must be finite and positive "
+                 "(use kQrFirstAspectNever for 'never faster')");
+  UNISVD_REQUIRE(backend.find_first_of(" \t\n#") == std::string_view::npos,
+                 "TuningTable: backend names must be free of whitespace and '#' "
+                 "(the text format's separators and comment marker)");
+  qr_first_aspects_[Key{std::string(backend), p}] = aspect;
+}
+
+std::optional<double> TuningTable::qr_first_aspect(std::string_view backend,
+                                                   Precision p) const {
+  const auto it = qr_first_aspects_.find(Key{std::string(backend), p});
+  if (it == qr_first_aspects_.end()) return std::nullopt;
+  return it->second;
+}
+
+double TuningTable::qr_first_aspect_or(std::string_view backend, Precision p,
+                                       double fallback) const {
+  const double* hit = lookup(qr_first_aspects_, backend, p);
+  return hit != nullptr ? *hit : fallback;
+}
+
 void TuningTable::write(std::ostream& os) const {
   os << "# unisvd tuning table v1\n";
   for (const auto& [key, crossover] : crossovers_) {
@@ -300,10 +334,36 @@ void TuningTable::write(std::ostream& os) const {
     os << "rsvd " << key.first << ' ' << to_string(key.second) << ' '
        << d.oversample << ' ' << d.power_iters << '\n';
   }
+  // The aspect is the format's only floating-point field: write it at
+  // max_digits10 so every double survives the save/load round trip
+  // (restoring the caller's stream precision afterwards).
+  const auto old_precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& [key, aspect] : qr_first_aspects_) {
+    os << "qr_first " << key.first << ' ' << to_string(key.second) << ' '
+       << aspect << '\n';
+  }
+  os.precision(old_precision);
 }
 
-TuningTable TuningTable::read(std::istream& is) {
+TuningTable TuningTable::read(std::istream& is, std::size_t* malformed_lines) {
   TuningTable table;
+  std::size_t malformed = 0;
+  // A line whose KNOWN directive fails to parse is corruption (a truncated
+  // write, a hand-edit gone wrong) and is counted — as is a directive that
+  // is a torn PREFIX of a known one ("crossov": a write cut off inside the
+  // token itself). Genuinely unknown directives pass silently so newer
+  // tables still load on older code.
+  const auto known = [](const std::string& d) {
+    for (const char* full : {"crossover", "kernels", "rsvd", "qr_first"}) {
+      const std::string_view f(full);
+      if (d == f || (!d.empty() && d.size() < f.size() &&
+                     f.substr(0, d.size()) == d)) {
+        return true;
+      }
+    }
+    return false;
+  };
   std::string line;
   while (std::getline(is, line)) {
     const auto hash = line.find('#');
@@ -313,49 +373,103 @@ TuningTable TuningTable::read(std::istream& is) {
     if (!(ls >> directive)) continue;  // blank line
     std::string backend;
     std::string prec_tok;
-    if (!(ls >> backend >> prec_tok)) continue;  // malformed: skip
-    const auto p = parse_precision(prec_tok);
-    if (!p) continue;
+    std::optional<Precision> p;
+    if ((ls >> backend >> prec_tok)) p = parse_precision(prec_tok);
+    if (!p) {
+      if (known(directive)) ++malformed;  // truncated / garbled key: skip
+      continue;
+    }
     if (directive == "crossover") {
       index_t crossover = -1;
-      if (!(ls >> crossover) || crossover < 0) continue;
+      if (!(ls >> crossover) || crossover < 0) {
+        ++malformed;
+        continue;
+      }
       table.crossovers_[Key{backend, *p}] = crossover;
     } else if (directive == "kernels") {
       qr::KernelConfig cfg;
       int fused = 0;
-      if (!(ls >> cfg.tilesize >> cfg.colperblock >> cfg.splitk >> fused)) continue;
+      if (!(ls >> cfg.tilesize >> cfg.colperblock >> cfg.splitk >> fused)) {
+        ++malformed;
+        continue;
+      }
       cfg.fused = fused != 0;
       try {
         cfg.validate();
       } catch (const Error&) {
-        continue;  // corrupt entry: skip, keep the rest of the table
+        ++malformed;  // corrupt entry: skip, keep the rest of the table
+        continue;
       }
       table.kernel_configs_[Key{backend, *p}] = cfg;
     } else if (directive == "rsvd") {
       RsvdDefaults d;
       if (!(ls >> d.oversample >> d.power_iters) || d.oversample < 0 ||
           d.power_iters < 0) {
+        ++malformed;
         continue;
       }
       table.rsvd_defaults_[Key{backend, *p}] = d;
+    } else if (directive == "qr_first") {
+      double aspect = 0.0;
+      if (!(ls >> aspect) || !std::isfinite(aspect) || aspect <= 0.0) {
+        ++malformed;
+        continue;
+      }
+      table.qr_first_aspects_[Key{backend, *p}] = aspect;
+    } else if (known(directive)) {
+      ++malformed;  // torn prefix of a known directive, args intact
     }
     // Unknown directives are ignored (forward compatibility).
   }
+  if (malformed_lines != nullptr) *malformed_lines = malformed;
   return table;
 }
 
 bool TuningTable::save(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
-  write(os);
-  os.flush();
-  return static_cast<bool>(os);
+  // Atomic replace: serialize into a pid+sequence-suffixed sibling, then
+  // rename over the target. A crash mid-write leaves only the temp file
+  // behind; concurrent savers — other processes (distinct pid) or other
+  // threads of this one (distinct sequence number) — race renames, so the
+  // last one wins with a COMPLETE table either way: the target path never
+  // holds a partial write.
+  static std::atomic<unsigned> save_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(UNISVD_GETPID()) +
+                          "." + std::to_string(save_seq.fetch_add(1));
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return false;
+    write(os);
+    os.flush();
+    if (!os) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    return false;
+  }
+  return true;
 }
 
 TuningTable TuningTable::load(const std::string& path) {
   std::ifstream is(path);
   if (!is) return TuningTable{};
-  return read(is);
+  std::size_t malformed = 0;
+  TuningTable table = read(is, &malformed);
+  if (malformed > 0) {
+    // Never fail the caller over a damaged cache file: drop the bad lines
+    // (a fully garbled table simply loads empty) and say so once.
+    std::cerr << "unisvd: tuning table '" << path << "': ignored " << malformed
+              << " malformed line(s)"
+              << (table.empty() ? "; no usable entries, loading as empty" : "")
+              << '\n';
+  }
+  return table;
 }
 
 template <class T>
@@ -383,8 +497,109 @@ BatchConfig tuned_batch_config(const TuningTable& table, const ka::Backend& back
                                Precision p, BatchConfig base) {
   base.crossover_n = table.batch_crossover_or(backend.name(), p, base.crossover_n);
   base.svd.kernels = table.kernels_or(backend.name(), p, base.svd.kernels);
+  base.svd.qr_first_aspect =
+      table.qr_first_aspect_or(backend.name(), p, base.svd.qr_first_aspect);
   return base;
 }
+
+template <class T>
+QrFirstAspectResult tune_qr_first_aspect(ka::Backend& backend, index_t n,
+                                         std::vector<double> aspects, int repeats,
+                                         const SvdConfig& config,
+                                         std::uint64_t seed) {
+  UNISVD_REQUIRE(backend.executes(),
+                 "tune_qr_first_aspect: backend must execute kernels");
+  UNISVD_REQUIRE(n >= 2, "tune_qr_first_aspect: probe extent must be >= 2");
+  UNISVD_REQUIRE(repeats >= 1, "tune_qr_first_aspect: repeats must be positive");
+  if (aspects.empty()) aspects = {1.25, 1.5, 2.0, 3.0, 4.0};
+  for (const double a : aspects) {
+    UNISVD_REQUIRE(std::isfinite(a) && a > 1.0,
+                   "tune_qr_first_aspect: probed aspects must be > 1");
+  }
+  std::sort(aspects.begin(), aspects.end());
+  aspects.erase(std::unique(aspects.begin(), aspects.end()), aspects.end());
+
+  rnd::Xoshiro256 rng(seed);
+  QrFirstAspectResult result;
+  for (const double aspect : aspects) {
+    const index_t m = std::max<index_t>(
+        n + 1, static_cast<index_t>(std::llround(aspect * static_cast<double>(n))));
+    const Matrix<T> probe = rnd::round_to<T>(rnd::gaussian_matrix(m, n, rng));
+
+    const auto run = [&](double forced_aspect) {
+      SvdConfig cfg = config;
+      cfg.job = SvdJob::Thin;
+      cfg.qr_first_aspect = forced_aspect;
+      double best = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < repeats; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)svd_values_report<T>(probe.view(), cfg, backend);
+        best = std::min(
+            best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                      .count());
+      }
+      return best;
+    };
+
+    QrFirstSample sample;
+    sample.aspect = aspect;
+    sample.m = m;
+    // Untimed warmup (pool wake-up, first-touch) so the first TIMED run —
+    // which would otherwise always be the generic side of the smallest
+    // aspect — carries no session-start bias; same protocol as
+    // tune_batch_crossover's warmup batch.
+    (void)run(kQrFirstAspectNever);
+    sample.generic_seconds = run(kQrFirstAspectNever);  // path disabled
+    sample.qr_first_seconds = run(1.0);                 // path forced
+    result.samples.push_back(sample);
+  }
+
+  // The threshold only descends through a contiguous winning SUFFIX: the
+  // QR-first path must win from the learned aspect all the way up, so a
+  // noisy win below a real loss cannot drag the crossover down.
+  result.aspect = kQrFirstAspectNever;
+  for (auto it = result.samples.rbegin(); it != result.samples.rend(); ++it) {
+    if (it->qr_first_seconds <= it->generic_seconds) {
+      result.aspect = it->aspect;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+template QrFirstAspectResult tune_qr_first_aspect<Half>(ka::Backend&, index_t,
+                                                        std::vector<double>, int,
+                                                        const SvdConfig&,
+                                                        std::uint64_t);
+template QrFirstAspectResult tune_qr_first_aspect<float>(ka::Backend&, index_t,
+                                                         std::vector<double>, int,
+                                                         const SvdConfig&,
+                                                         std::uint64_t);
+template QrFirstAspectResult tune_qr_first_aspect<double>(ka::Backend&, index_t,
+                                                          std::vector<double>, int,
+                                                          const SvdConfig&,
+                                                          std::uint64_t);
+
+template <class T>
+double learn_qr_first_aspect(TuningTable& table, ka::Backend& backend, index_t n,
+                             std::vector<double> aspects, int repeats,
+                             const SvdConfig& config, std::uint64_t seed) {
+  const QrFirstAspectResult result = tune_qr_first_aspect<T>(
+      backend, n, std::move(aspects), repeats, config, seed);
+  table.set_qr_first_aspect(backend.name(), precision_of<T>, result.aspect);
+  return result.aspect;
+}
+
+template double learn_qr_first_aspect<Half>(TuningTable&, ka::Backend&, index_t,
+                                            std::vector<double>, int,
+                                            const SvdConfig&, std::uint64_t);
+template double learn_qr_first_aspect<float>(TuningTable&, ka::Backend&, index_t,
+                                             std::vector<double>, int,
+                                             const SvdConfig&, std::uint64_t);
+template double learn_qr_first_aspect<double>(TuningTable&, ka::Backend&, index_t,
+                                              std::vector<double>, int,
+                                              const SvdConfig&, std::uint64_t);
 
 template <class T>
 RsvdTuneResult tune_rsvd(ka::Backend& backend, index_t m, index_t n, index_t rank,
@@ -512,6 +727,8 @@ TruncConfig tuned_trunc_config(const TuningTable& table, const ka::Backend& back
   base.oversample = d.oversample;
   base.power_iters = d.power_iters;
   base.svd.kernels = table.kernels_or(backend.name(), p, base.svd.kernels);
+  base.svd.qr_first_aspect =
+      table.qr_first_aspect_or(backend.name(), p, base.svd.qr_first_aspect);
   return base;
 }
 

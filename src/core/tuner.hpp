@@ -92,8 +92,17 @@ template <class T>
 ///   crossover <backend> <FP16|FP32|FP64> <n>
 ///   kernels <backend> <FP16|FP32|FP64> <tilesize> <colperblock> <splitk> <fused 0|1>
 ///   rsvd <backend> <FP16|FP32|FP64> <oversample> <power_iters>
+///   qr_first <backend> <FP16|FP32|FP64> <aspect>
 /// Backend names must be free of whitespace and '#' — the format's
 /// separators and comment marker (every ka::Backend::name() is).
+///
+/// Durability: save() writes a private `<path>.tmp.<pid>.<seq>` file and
+/// atomically renames it over the target, so a crash mid-write or two
+/// concurrent learn_* processes can never leave a half-written table behind
+/// (the last writer wins wholesale). load() stays graceful the other way:
+/// a missing file yields an empty table, and a truncated or garbage file
+/// loads whatever entries still parse — malformed lines are dropped with
+/// one stderr warning instead of failing the caller.
 class TuningTable {
  public:
   /// Learned BatchConfig::crossover_n for one backend/precision.
@@ -125,19 +134,39 @@ class TuningTable {
   [[nodiscard]] RsvdDefaults rsvd_or(std::string_view backend, Precision p,
                                      const RsvdDefaults& fallback) const;
 
+  /// Measured SvdConfig::qr_first_aspect threshold of the dense QR-first
+  /// tall path (core::tune_qr_first_aspect): the smallest probed aspect
+  /// ratio from which the QR-first formulation stayed faster than the
+  /// generic accumulate-through path. kQrFirstAspectNever records "never
+  /// faster on this backend".
+  void set_qr_first_aspect(std::string_view backend, Precision p, double aspect);
+  [[nodiscard]] std::optional<double> qr_first_aspect(std::string_view backend,
+                                                      Precision p) const;
+  [[nodiscard]] double qr_first_aspect_or(std::string_view backend, Precision p,
+                                          double fallback) const;
+
   [[nodiscard]] std::size_t size() const noexcept {
-    return crossovers_.size() + kernel_configs_.size() + rsvd_defaults_.size();
+    return crossovers_.size() + kernel_configs_.size() + rsvd_defaults_.size() +
+           qr_first_aspects_.size();
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   void write(std::ostream& os) const;
-  [[nodiscard]] static TuningTable read(std::istream& is);
+  /// Parse a stream; lines that name a known directive but fail to parse
+  /// are skipped and counted into *malformed_lines (when non-null).
+  /// Unknown directives stay silently ignored (forward compatibility).
+  [[nodiscard]] static TuningTable read(std::istream& is,
+                                        std::size_t* malformed_lines = nullptr);
 
-  /// Serialize to `path`; false on I/O failure.
+  /// Serialize to `path` atomically: the table is written to
+  /// `<path>.tmp.<pid>.<seq>` and renamed over the target, so readers never see a
+  /// half-written file and concurrent savers cannot interleave. False on
+  /// I/O failure (the temp file is cleaned up).
   [[nodiscard]] bool save(const std::string& path) const;
   /// Parse `path`. Graceful: a missing/unreadable file yields an empty
-  /// table and malformed lines are skipped — callers always get their
-  /// fallbacks instead of an exception.
+  /// table; a truncated or garbage file loads as whatever entries still
+  /// parse (possibly none) with a single stderr warning about the dropped
+  /// lines — callers always get their fallbacks instead of an exception.
   [[nodiscard]] static TuningTable load(const std::string& path);
 
  private:
@@ -149,6 +178,7 @@ class TuningTable {
   std::map<Key, index_t> crossovers_;
   std::map<Key, qr::KernelConfig> kernel_configs_;
   std::map<Key, RsvdDefaults> rsvd_defaults_;
+  std::map<Key, double> qr_first_aspects_;
 };
 
 /// Run tune_batch_crossover and deposit the learned crossover into `table`
@@ -159,9 +189,10 @@ index_t learn_batch_crossover(TuningTable& table, ka::Backend& backend,
                               std::size_t problems_per_size = 8, int repeats = 2,
                               const SvdConfig& config = {}, std::uint64_t seed = 42);
 
-/// BatchConfig whose crossover_n (and Phase-1 kernels, when measured) come
-/// from the table — the measurement-backed default for `backend`. Fields of
-/// `base` not covered by the table are preserved.
+/// BatchConfig whose crossover_n (and Phase-1 kernels and QR-first aspect
+/// threshold, when measured) come from the table — the measurement-backed
+/// default for `backend`. Fields of `base` not covered by the table are
+/// preserved.
 [[nodiscard]] BatchConfig tuned_batch_config(const TuningTable& table,
                                              const ka::Backend& backend, Precision p,
                                              BatchConfig base = {});
@@ -203,6 +234,47 @@ TuningTable::RsvdDefaults learn_rsvd(TuningTable& table, ka::Backend& backend,
                                      index_t rank = 16, int repeats = 1,
                                      double accuracy_budget = 1.5,
                                      std::uint64_t seed = 42);
+
+/// Sentinel qr_first_aspect meaning "the QR-first tall path never won on
+/// this backend — keep the generic path for every aspect ratio". Finite so
+/// it serializes cleanly through the text table.
+inline constexpr double kQrFirstAspectNever = 1e9;
+
+/// One probed aspect ratio of the QR-first tuner.
+struct QrFirstSample {
+  double aspect = 0.0;          ///< probed m/n ratio
+  index_t m = 0;                ///< rows actually probed (aspect * n, tall)
+  double generic_seconds = 0.0; ///< Thin solve, accumulate-through path
+  double qr_first_seconds = 0.0;///< Thin solve, QR-first path forced
+};
+
+struct QrFirstAspectResult {
+  /// Learned SvdConfig::qr_first_aspect: the smallest probed aspect from
+  /// which the QR-first path won at EVERY probed aspect up to the largest
+  /// (a noisy win below a real loss does not lower the threshold), or
+  /// kQrFirstAspectNever when it never won.
+  double aspect = kQrFirstAspectNever;
+  std::vector<QrFirstSample> samples;  ///< ascending in aspect
+};
+
+/// Learn the QR-first aspect threshold for this backend and storage type:
+/// time a Thin-job solve of a random (aspect * n) x n matrix under both
+/// paths (forced via SvdConfig::qr_first_aspect) at each probed aspect,
+/// best of `repeats` runs each. Empty `aspects` probes a default ladder
+/// {1.25, 1.5, 2, 3, 4}. The result's aspect drops into
+/// SvdConfig::qr_first_aspect (tuned_batch_config applies it from a table).
+template <class T>
+[[nodiscard]] QrFirstAspectResult tune_qr_first_aspect(
+    ka::Backend& backend, index_t n = 64, std::vector<double> aspects = {},
+    int repeats = 1, const SvdConfig& config = {}, std::uint64_t seed = 42);
+
+/// Run tune_qr_first_aspect and deposit the learned threshold into `table`
+/// under the backend's name and T's precision. Returns the threshold.
+template <class T>
+double learn_qr_first_aspect(TuningTable& table, ka::Backend& backend,
+                             index_t n = 64, std::vector<double> aspects = {},
+                             int repeats = 1, const SvdConfig& config = {},
+                             std::uint64_t seed = 42);
 
 /// TruncConfig whose oversample/power_iters come from the table's measured
 /// rsvd defaults (exact backend/precision match, then nearest precision,

@@ -27,10 +27,10 @@ template void tall_qr<double>(ka::Backend&, MatrixView<double>, MatrixView<doubl
                               MatrixView<double>*);
 
 template void schedule_band_reduction<Half>(index_t, const KernelConfig&,
-                                            ka::TraceRecorder&);
+                                            ka::TraceRecorder&, bool);
 template void schedule_band_reduction<float>(index_t, const KernelConfig&,
-                                             ka::TraceRecorder&);
+                                             ka::TraceRecorder&, bool);
 template void schedule_band_reduction<double>(index_t, const KernelConfig&,
-                                              ka::TraceRecorder&);
+                                              ka::TraceRecorder&, bool);
 
 }  // namespace unisvd::qr

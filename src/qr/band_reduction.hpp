@@ -150,16 +150,27 @@ void band_reduction(ka::Backend& be, MatrixView<T> A, MatrixView<T> Tau,
 /// `trace` without executing kernels or touching matrix memory — used to
 /// drive the GPU performance model at sizes far beyond what is worth
 /// executing. The schedule is produced by the SAME orchestration code as
-/// the real run (tested equal).
+/// the real run (tested equal). When `with_vector_accumulators` is set the
+/// schedule additionally records the ut/vt accumulator applies a
+/// SvdJob::Thin/Full solve launches (Stage::VectorAccumulation) — Stage
+/// 2/3 rotation mirroring runs rotation-at-a-time on the host and stays
+/// outside the launch-trace model.
 template <class T>
 void schedule_band_reduction(index_t ntiles, const KernelConfig& cfg,
-                             ka::TraceRecorder& trace) {
+                             ka::TraceRecorder& trace,
+                             bool with_vector_accumulators = false) {
   ka::TraceBackend be;
   be.set_trace(&trace);
   const index_t n = ntiles * cfg.tilesize;
   MatrixView<T> a(nullptr, n, n, n);
   MatrixView<T> tau(nullptr, ntiles, cfg.tilesize, ntiles);
-  band_reduction<T>(be, a, tau, cfg);
+  if (with_vector_accumulators) {
+    MatrixView<compute_t<T>> ut(nullptr, n, n, n);
+    MatrixView<compute_t<T>> vt(nullptr, n, n, n);
+    band_reduction<T>(be, a, tau, cfg, nullptr, &ut, &vt);
+  } else {
+    band_reduction<T>(be, a, tau, cfg);
+  }
 }
 
 }  // namespace unisvd::qr

@@ -43,7 +43,7 @@
 #include "common/half.hpp"
 #include "common/linalg_ref.hpp"
 #include "rsvd/gemm.hpp"
-#include "rsvd/panel_qr.hpp"
+#include "qr/panel_qr.hpp"
 #include "rsvd/sketch.hpp"
 #include "tile/tile_layout.hpp"
 
@@ -91,7 +91,7 @@ void range_finder(ka::Backend& be, ConstMatrixView<T> at, double scale,
   y = Matrix<T>(mpad, lpad, T(0));
   rsvd::sketch_gemm<T>(be, at, omega.view(), y.view(), scale, cfg, times);
 
-  tau = Matrix<T>(rsvd::panel_tau_rows(std::max(mtiles, ntiles), ltiles),
+  tau = Matrix<T>(qr::panel_tau_rows(std::max(mtiles, ntiles), ltiles),
                   ts, T(0));
   Matrix<T> z;  // the A^T-side panel of each power iteration
 
@@ -100,7 +100,7 @@ void range_finder(ka::Backend& be, ConstMatrixView<T> at, double scale,
     // B_full = Q_full^T (A/scale) in the same pass.
     acc = padded_scaled_copy<T>(at, mpad, npad, scale);
     MatrixView<CT> acc_view = acc.view();
-    rsvd::panel_qr_factor<T>(be, y.view(), tau.view(), cfg, times, &acc_view);
+    qr::panel_qr_factor<T>(be, y.view(), tau.view(), cfg, times, &acc_view);
     if (iter == power_iters) break;
 
     // Z = (Q^T A)^T = A^T Q : the top l_pad rows of acc, transposed.
@@ -114,7 +114,7 @@ void range_finder(ka::Backend& be, ConstMatrixView<T> at, double scale,
     Matrix<CT> acc2 =
         padded_scaled_copy<T>(at.transposed(), npad, mpad, scale);
     MatrixView<CT> acc2_view = acc2.view();
-    rsvd::panel_qr_factor<T>(be, z.view(), tau.view(), cfg, times, &acc2_view);
+    qr::panel_qr_factor<T>(be, z.view(), tau.view(), cfg, times, &acc2_view);
 
     // Y = (W^T A^T)^T = A W : the top l_pad rows of acc2, transposed.
     y = Matrix<T>(mpad, lpad, T(0));
@@ -224,7 +224,7 @@ TruncReport svd_truncated_report(ConstMatrixView<T> a, const TruncConfig& config
       TruncReport fb =
           dense_fallback<T>(a, config, adaptive ? max_rank : rank, backend);
       fb.stage_times += rep.stage_times;
-      fb.adaptive_rounds = round;
+      fb.adaptive_rounds = round;  // rounds EXECUTED: this one never sketched
       return fb;
     }
 
@@ -266,7 +266,7 @@ TruncReport svd_truncated_report(ConstMatrixView<T> a, const TruncConfig& config
         if (rank >= max_rank) {
           TruncReport fb = dense_fallback<T>(a, config, max_rank, backend);
           fb.stage_times += rep.stage_times;  // keep the failed rounds' cost
-          fb.adaptive_rounds = round + 1;
+          fb.adaptive_rounds = round + 1;  // this round's sketch DID run
           return fb;
         }
         rank = std::min(rank * 2, max_rank);
@@ -287,14 +287,16 @@ TruncReport svd_truncated_report(ConstMatrixView<T> a, const TruncConfig& config
       }
     }
     MatrixView<CT> comp_view = comp.view();
-    rsvd::panel_apply_q<T, CT>(backend, y.view(), tau.view(), comp_view,
+    qr::panel_apply_q<T, CT>(backend, y.view(), tau.view(), comp_view,
                                config.svd.kernels, &rep.stage_times);
     const auto t0 = std::chrono::steady_clock::now();
 
     rep.rank = k;
     rep.sketch_cols = l;
     rep.power_iters = config.power_iters;
-    rep.adaptive_rounds = round;
+    // adaptive_rounds counts SKETCH ROUNDS EXECUTED — this round included —
+    // under the same definition as the two fallback exits above/below.
+    rep.adaptive_rounds = round + 1;
     rep.scale_factor = scale;
     rep.sigma_tail =
         k < static_cast<index_t>(small.values.size())

@@ -30,7 +30,10 @@ struct SimBreakdown {
   double trailing = 0.0;
   double band2bidiag = 0.0;
   double bidiag2diag = 0.0;
-  double vector_acc = 0.0;  ///< singular-vector accumulation (SvdJob::Thin/Full)
+  /// Singular-vector accumulation (SvdJob::Thin/Full) — including the
+  /// QR-first tall path's backward reflector replay, whose apply-Q
+  /// launches self-attribute here (sim::simulate_qr_first_thin).
+  double vector_acc = 0.0;
 
   [[nodiscard]] double total() const noexcept {
     return panel + trailing + band2bidiag + bidiag2diag + vector_acc;

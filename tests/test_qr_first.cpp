@@ -1,0 +1,377 @@
+/// QR-first tall-path parity suite (core/svd.cpp qr_first_solve):
+///
+///   * singular values bit-identical to the generic accumulate-through path
+///     across FP16/FP32/FP64 x aspect ratios straddling the threshold x
+///     ValuesOnly/Thin/Full jobs;
+///   * accuracy gates (reconstruction residual and orthogonality defect
+///     <= 50*eps*n) on the COMPOSED U = Q * U_R, tall and wide, Thin and
+///     Full, with and without auto_scale;
+///   * path selection: SvdConfig::qr_first_aspect gates the path, the
+///     report's qr_first flag records it, ValuesOnly never takes it;
+///   * batched: ragged tall/square batches mix paths per problem under all
+///     four schedules, with ErrorPolicy::Isolate containment;
+///   * memory: a 16384 x 256 FP32 Thin solve peaks at O(m_pad * n_pad)
+///     accumulator bytes (matrix_peak_bytes high-water counter), far below
+///     the m_pad^2 buffer the generic path would allocate.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/linalg_ref.hpp"
+#include "core/batch.hpp"
+#include "core/svd.hpp"
+#include "core/tuner.hpp"
+#include "test_util.hpp"
+#include "tile/tile_layout.hpp"
+
+using namespace unisvd;
+
+namespace {
+
+SvdConfig vec_config(SvdJob job = SvdJob::Thin, int ts = 8) {
+  SvdConfig cfg;
+  cfg.kernels.tilesize = ts;
+  cfg.kernels.colperblock = std::min(8, ts);
+  cfg.job = job;
+  return cfg;
+}
+
+/// The path forced ON (any tall vector solve) or OFF (generic always).
+SvdConfig forced(SvdConfig cfg, bool qr_first) {
+  cfg.qr_first_aspect = qr_first ? 1.0 : core::kQrFirstAspectNever;
+  return cfg;
+}
+
+/// || A - U diag(values) V^T ||_F / || A ||_F from the report's factors.
+template <class T>
+double reconstruction_residual(ConstMatrixView<T> a, const SvdReport& rep) {
+  const Matrix<double> ad = ref::to_double(a);
+  Matrix<double> us(rep.u.rows(), rep.vt.rows(), 0.0);
+  for (index_t j = 0; j < us.cols(); ++j) {
+    if (j >= static_cast<index_t>(rep.values.size())) continue;
+    const double s = rep.values[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i < us.rows(); ++i) {
+      us(i, j) = rep.u(i, j) * s;
+    }
+  }
+  const Matrix<double> prod =
+      ref::matmul(ConstMatrixView<double>(us.view()), rep.vt.view());
+  const double denom = ref::fro_norm(ad.view());
+  const double diff = ref::fro_diff(ad.view(), prod.view());
+  return denom == 0.0 ? diff : diff / denom;
+}
+
+/// The acceptance bound: 50 * eps * n at the precision's storage epsilon.
+template <class T>
+double accept_tol(index_t m, index_t n) {
+  return 50.0 * precision_traits<T>::storage_eps * static_cast<double>(std::max(m, n));
+}
+
+template <class T>
+void expect_valid_svd(ConstMatrixView<T> a, const SvdReport& rep, SvdJob job,
+                      const char* tag) {
+  const std::string what = std::string(tag) + " [" + to_string(job) + "]";
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min(m, n);
+  ASSERT_EQ(rep.values.size(), static_cast<std::size_t>(k)) << what;
+  if (job == SvdJob::Full) {
+    ASSERT_EQ(rep.u.rows(), m) << what;
+    ASSERT_EQ(rep.u.cols(), m) << what;
+    ASSERT_EQ(rep.vt.rows(), n) << what;
+    ASSERT_EQ(rep.vt.cols(), n) << what;
+  } else {
+    ASSERT_EQ(rep.u.rows(), m) << what;
+    ASSERT_EQ(rep.u.cols(), k) << what;
+    ASSERT_EQ(rep.vt.rows(), k) << what;
+    ASSERT_EQ(rep.vt.cols(), n) << what;
+  }
+  EXPECT_LE(reconstruction_residual(a, rep), accept_tol<T>(m, n)) << what;
+  EXPECT_LE(ref::orthogonality_defect(rep.u.view()), accept_tol<T>(m, n)) << what;
+  EXPECT_LE(ref::orthogonality_defect(rep.vt.view().transposed()),
+            accept_tol<T>(m, n))
+      << what;
+  for (std::size_t i = 1; i < rep.values.size(); ++i) {
+    EXPECT_LE(rep.values[i], rep.values[i - 1]) << what;
+  }
+}
+
+}  // namespace
+
+template <class T>
+class QrFirstTyped : public ::testing::Test {};
+using StorageTypes = ::testing::Types<Half, float, double>;
+TYPED_TEST_SUITE(QrFirstTyped, StorageTypes);
+
+TYPED_TEST(QrFirstTyped, ValuesBitIdenticalAcrossPathsShapesAndJobs) {
+  // The acceptance invariant: whichever path solves a shape, the singular
+  // values are THE SAME BITS — the QR-first panel factorization runs the
+  // identical kernel sequence as the generic tall QR, and the R it hands to
+  // the square pipeline re-pads to the identical working matrix.
+  const std::pair<index_t, index_t> shapes[] = {
+      {40, 24},   // aspect 1.67, just above the default threshold
+      {48, 32},   // aspect 1.5, just below it
+      {96, 24},   // aspect 4
+      {24, 64},   // wide (runs on the lazy transpose)
+  };
+  for (const auto& [m, n] : shapes) {
+    const auto a = testutil::convert<TypeParam>(
+        testutil::random_matrix(m, n, 900 + static_cast<std::uint64_t>(m * 3 + n)));
+    for (const SvdJob job : {SvdJob::Thin, SvdJob::Full}) {
+      const auto generic =
+          svd_values_report<TypeParam>(a.view(), forced(vec_config(job), false));
+      const auto qrfirst =
+          svd_values_report<TypeParam>(a.view(), forced(vec_config(job), true));
+      EXPECT_FALSE(generic.qr_first);
+      EXPECT_TRUE(qrfirst.qr_first);
+      ASSERT_EQ(generic.values.size(), qrfirst.values.size());
+      for (std::size_t i = 0; i < generic.values.size(); ++i) {
+        EXPECT_EQ(generic.values[i], qrfirst.values[i])
+            << m << "x" << n << " [" << to_string(job) << "] value " << i;
+      }
+      // And both match the historic values-only fast path bit-for-bit.
+      const auto plain = svd_values_report<TypeParam>(
+          a.view(), forced(vec_config(SvdJob::ValuesOnly), true));
+      EXPECT_FALSE(plain.qr_first);  // ValuesOnly never composes factors
+      for (std::size_t i = 0; i < plain.values.size(); ++i) {
+        EXPECT_EQ(plain.values[i], qrfirst.values[i])
+            << m << "x" << n << " [" << to_string(job) << "] vs values-only " << i;
+      }
+    }
+  }
+}
+
+TYPED_TEST(QrFirstTyped, ComposedFactorsPassAccuracyGates) {
+  // Residual + orthogonality of the composed U = Q * U_R within 50*eps*n,
+  // tall and wide, Thin and Full — same gates as the generic vector suite.
+  const auto tall = testutil::convert<TypeParam>(testutil::random_matrix(96, 32, 910));
+  const auto tall_thin =
+      svd_values_report<TypeParam>(tall.view(), forced(vec_config(SvdJob::Thin), true));
+  EXPECT_TRUE(tall_thin.qr_first);
+  expect_valid_svd<TypeParam>(tall.view(), tall_thin, SvdJob::Thin, "tall 96x32");
+
+  const auto tall_full = svd_values_report<TypeParam>(
+      tall.view(), forced(vec_config(SvdJob::Full), true));
+  EXPECT_TRUE(tall_full.qr_first);
+  expect_valid_svd<TypeParam>(tall.view(), tall_full, SvdJob::Full, "tall 96x32");
+
+  const auto wide = testutil::convert<TypeParam>(testutil::random_matrix(24, 72, 911));
+  const auto wide_thin =
+      svd_values_report<TypeParam>(wide.view(), forced(vec_config(SvdJob::Thin), true));
+  EXPECT_TRUE(wide_thin.qr_first);
+  expect_valid_svd<TypeParam>(wide.view(), wide_thin, SvdJob::Thin, "wide 24x72");
+
+  const auto wide_full = svd_values_report<TypeParam>(
+      wide.view(), forced(vec_config(SvdJob::Full), true));
+  EXPECT_TRUE(wide_full.qr_first);
+  expect_valid_svd<TypeParam>(wide.view(), wide_full, SvdJob::Full, "wide 24x72");
+}
+
+TYPED_TEST(QrFirstTyped, PaddedTallShapeStaysValid) {
+  // Extents that do not divide the tile grid: padding isolation must hold
+  // through panel QR, the recursive R solve, AND the backward replay.
+  const auto a = testutil::convert<TypeParam>(testutil::random_matrix(70, 18, 912));
+  const auto rep = svd_values_report<TypeParam>(
+      a.view(), forced(vec_config(SvdJob::Thin, 16), true));
+  EXPECT_TRUE(rep.qr_first);
+  expect_valid_svd<TypeParam>(a.view(), rep, SvdJob::Thin, "padded 70x18 ts16");
+
+  const auto full = svd_values_report<TypeParam>(
+      a.view(), forced(vec_config(SvdJob::Full, 16), true));
+  EXPECT_TRUE(full.qr_first);
+  expect_valid_svd<TypeParam>(a.view(), full, SvdJob::Full, "padded 70x18 ts16");
+}
+
+TEST(QrFirst, DefaultAspectSelectsThePath) {
+  // The default threshold (1.6) routes 2:1 tall vector solves through
+  // QR-first, leaves 1.5:1 and square ones generic, and never applies to
+  // ValuesOnly (the historic fast path stays byte-identical).
+  const auto tall = testutil::convert<float>(testutil::random_matrix(48, 24, 920));
+  EXPECT_TRUE(svd_values_report<float>(tall.view(), vec_config()).qr_first);
+  EXPECT_FALSE(
+      svd_values_report<float>(tall.view(), vec_config(SvdJob::ValuesOnly)).qr_first);
+
+  const auto mild = testutil::convert<float>(testutil::random_matrix(48, 32, 921));
+  EXPECT_FALSE(svd_values_report<float>(mild.view(), vec_config()).qr_first);
+
+  const auto square = testutil::convert<float>(testutil::random_matrix(32, 32, 922));
+  EXPECT_FALSE(svd_values_report<float>(square.view(), vec_config()).qr_first);
+
+  // Invalid thresholds are rejected up front.
+  SvdConfig bad = vec_config();
+  bad.qr_first_aspect = 0.0;
+  EXPECT_THROW((void)svd_values_report<float>(tall.view(), bad), Error);
+}
+
+TEST(QrFirst, AutoScaleComposesScaleInvariantFactors) {
+  auto ad = testutil::random_matrix(80, 24, 923);
+  for (index_t j = 0; j < ad.cols(); ++j) {
+    for (index_t i = 0; i < ad.rows(); ++i) ad(i, j) *= 64.0;
+  }
+  const auto a = testutil::convert<float>(ad);
+  auto cfg = forced(vec_config(), true);
+  cfg.auto_scale = true;
+  const auto rep = svd_values_report<float>(a.view(), cfg);
+  EXPECT_TRUE(rep.qr_first);
+  EXPECT_NE(rep.scale_factor, 1.0);
+  expect_valid_svd<float>(a.view(), rep, SvdJob::Thin, "auto-scaled 80x24");
+}
+
+TEST(QrFirst, DeterministicAcrossThreadCounts) {
+  const auto a = testutil::convert<float>(testutil::random_matrix(80, 24, 924));
+  ka::CpuBackend be1(1);
+  ka::CpuBackend be4(4);
+  const auto r1 = svd_values_report<float>(a.view(), vec_config(), be1);
+  const auto r4 = svd_values_report<float>(a.view(), vec_config(), be4);
+  EXPECT_TRUE(r1.qr_first);
+  EXPECT_TRUE(r4.qr_first);
+  for (std::size_t i = 0; i < r1.values.size(); ++i) {
+    EXPECT_EQ(r1.values[i], r4.values[i]);
+  }
+  EXPECT_EQ(ref::fro_diff(r1.u.view(), r4.u.view()), 0.0);
+  EXPECT_EQ(ref::fro_diff(r1.vt.view(), r4.vt.view()), 0.0);
+}
+
+TEST(QrFirstBatched, RaggedBatchMixesPathsUnderEverySchedule) {
+  // A ragged batch mixing tall (QR-first), square and mildly-tall (generic)
+  // problems plus one poisoned matrix: per-problem path choice under all
+  // four schedules, Isolate containment, and bit-identity with the solo
+  // solves whichever schedule ran.
+  std::vector<Matrix<float>> problems;
+  problems.push_back(testutil::convert<float>(testutil::random_matrix(96, 24, 930)));
+  problems.push_back(testutil::convert<float>(testutil::random_matrix(32, 32, 931)));
+  problems.push_back(testutil::convert<float>(testutil::random_matrix(64, 24, 932)));
+  problems.push_back(testutil::convert<float>(testutil::random_matrix(40, 32, 933)));
+  problems.push_back(testutil::convert<float>(testutil::random_matrix(24, 56, 934)));
+  problems[3](1, 1) = std::numeric_limits<float>::quiet_NaN();
+  const auto views = testutil::views_of(problems);
+  const bool expect_qr_first[] = {true, false, true, false, true};
+  ka::CpuBackend backend(4);
+
+  BatchConfig cfg;
+  cfg.svd = vec_config();
+  cfg.crossover_n = 48;
+  cfg.on_error = ErrorPolicy::Isolate;
+  for (const auto schedule : {BatchSchedule::Auto, BatchSchedule::InterProblem,
+                              BatchSchedule::IntraProblem, BatchSchedule::Mixed}) {
+    cfg.schedule = schedule;
+    const auto rep = svd_batched_report<float>(views, cfg, backend);
+    ASSERT_EQ(rep.reports.size(), problems.size());
+    EXPECT_EQ(rep.failed_count(), 1u) << to_string(schedule);
+    for (std::size_t p = 0; p < problems.size(); ++p) {
+      if (p == 3) {
+        EXPECT_EQ(rep.reports[p].status, SvdStatus::NonFinite);
+        EXPECT_TRUE(rep.reports[p].values.empty());
+        EXPECT_FALSE(rep.reports[p].qr_first);
+        continue;
+      }
+      EXPECT_EQ(rep.reports[p].status, SvdStatus::Ok);
+      EXPECT_EQ(rep.reports[p].qr_first, expect_qr_first[p])
+          << to_string(schedule) << " problem " << p;
+      expect_valid_svd<float>(views[p], rep.reports[p], SvdJob::Thin, "batched");
+      const auto solo = svd_values_report<float>(views[p], cfg.svd);
+      ASSERT_EQ(solo.values.size(), rep.reports[p].values.size());
+      for (std::size_t i = 0; i < solo.values.size(); ++i) {
+        EXPECT_EQ(solo.values[i], rep.reports[p].values[i])
+            << to_string(schedule) << " problem " << p;
+      }
+      EXPECT_EQ(ref::fro_diff(solo.u.view(), rep.reports[p].u.view()), 0.0);
+      EXPECT_EQ(ref::fro_diff(solo.vt.view(), rep.reports[p].vt.view()), 0.0);
+    }
+  }
+}
+
+TEST(QrFirst, PeakAccumulatorMemoryIsPanelSizedAt16384x256) {
+  // The acceptance case: a 16384 x 256 FP32 Thin solve must take the
+  // QR-first path and keep peak live Matrix bytes at O(m_pad * n_pad) —
+  // the generic path's m_pad^2 compute-precision accumulator ALONE would
+  // be 1 GiB, an order of magnitude past this budget.
+  const index_t m = 16384;
+  const index_t n = 256;
+  rnd::Xoshiro256 rng(940);
+  Matrix<float> a(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) a(i, j) = static_cast<float>(rng.normal());
+  }
+
+  SvdConfig cfg;
+  cfg.job = SvdJob::Thin;
+  const index_t ts = cfg.kernels.tilesize;
+  const index_t mpad = tile::TileLayout::make(m, ts).n;
+  const index_t npad = tile::TileLayout::make(n, ts).n;
+
+  // Budget: a generous constant number of m_pad x n_pad panels (storage
+  // panel, tau blocks, composition target, double-held report factors,
+  // plus every n_pad-sized buffer) — measured peak is ~86 MB against the
+  // 168 MB budget, while the generic path's square accumulator alone
+  // (m_pad^2 floats) is ~1074 MB.
+  const std::size_t budget = static_cast<std::size_t>(40 * mpad * npad);
+  ASSERT_LT(budget, static_cast<std::size_t>(mpad * mpad) * sizeof(float));
+
+  matrix_reset_peak();
+  const std::size_t before = matrix_peak_bytes();
+  const auto rep = svd_values_report<float>(a.view(), cfg);
+  const std::size_t peak = matrix_peak_bytes();
+
+  EXPECT_TRUE(rep.qr_first);
+  ASSERT_EQ(rep.values.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(rep.u.rows(), m);
+  EXPECT_EQ(rep.u.cols(), n);
+  EXPECT_GE(peak, before);
+  EXPECT_LE(peak, budget) << "peak " << peak / 1e6 << " MB exceeds the "
+                          << budget / 1e6 << " MB O(m_pad*n_pad) budget";
+}
+
+TEST(QrFirst, HighWaterCounterTracksLiveMatrices) {
+  const std::size_t live0 = matrix_live_bytes();
+  matrix_reset_peak();
+  EXPECT_EQ(matrix_peak_bytes(), live0);
+  {
+    Matrix<double> a(64, 64);
+    EXPECT_GE(matrix_live_bytes(), live0 + 64 * 64 * sizeof(double));
+    EXPECT_GE(matrix_peak_bytes(), live0 + 64 * 64 * sizeof(double));
+  }
+  EXPECT_EQ(matrix_live_bytes(), live0);       // destruction released it
+  EXPECT_GE(matrix_peak_bytes(), live0 + 64 * 64 * sizeof(double));  // peak sticks
+  matrix_reset_peak();
+  EXPECT_EQ(matrix_peak_bytes(), live0);
+}
+
+TEST(QrFirst, TunerLearnsAndPersistsAspect) {
+  // learn_qr_first_aspect measures both paths, deposits a threshold into
+  // the table, and tuned_batch_config plumbs it back into SvdConfig.
+  ka::CpuBackend backend(2);
+  SvdConfig probe_cfg;
+  probe_cfg.kernels.tilesize = 8;
+  probe_cfg.kernels.colperblock = 8;
+  const auto result =
+      core::tune_qr_first_aspect<float>(backend, 24, {2.0, 4.0}, 1, probe_cfg);
+  ASSERT_EQ(result.samples.size(), 2u);
+  for (const auto& s : result.samples) {
+    EXPECT_GT(s.generic_seconds, 0.0);
+    EXPECT_GT(s.qr_first_seconds, 0.0);
+    EXPECT_GT(s.m, 24);
+  }
+  // Learned value is one of the probed aspects or the "never" sentinel.
+  EXPECT_TRUE(result.aspect == 2.0 || result.aspect == 4.0 ||
+              result.aspect == core::kQrFirstAspectNever);
+
+  core::TuningTable table;
+  const double learned = core::learn_qr_first_aspect<float>(
+      table, backend, 24, {2.0, 4.0}, 1, probe_cfg);
+  ASSERT_TRUE(table.qr_first_aspect("cpu", Precision::FP32).has_value());
+  EXPECT_EQ(*table.qr_first_aspect("cpu", Precision::FP32), learned);
+  const BatchConfig tuned = core::tuned_batch_config(table, backend, Precision::FP32);
+  EXPECT_EQ(tuned.svd.qr_first_aspect, learned);
+  // FP16 falls back to the FP32 entry; unknown backends keep the default.
+  EXPECT_EQ(core::tuned_batch_config(table, backend, Precision::FP16)
+                .svd.qr_first_aspect,
+            learned);
+  ka::SerialBackend serial;
+  EXPECT_EQ(core::tuned_batch_config(table, serial, Precision::FP32)
+                .svd.qr_first_aspect,
+            SvdConfig{}.qr_first_aspect);
+}

@@ -24,7 +24,7 @@
 #include "ka/backend.hpp"
 #include "rand/matrix_gen.hpp"
 #include "rsvd/gemm.hpp"
-#include "rsvd/panel_qr.hpp"
+#include "qr/panel_qr.hpp"
 #include "rsvd/sketch.hpp"
 #include "test_util.hpp"
 #include "tile/tile_layout.hpp"
@@ -133,13 +133,13 @@ TEST(PanelApplyQ, InvertsForwardApplication) {
     Matrix<float> acc = convert<float>(x64);
     MatrixView<float> acc_view = acc.view();
 
-    Matrix<float> tau(rsvd::panel_tau_rows(mpad / 32, lpad / 32), 32, 0.0f);
-    rsvd::panel_qr_factor<float>(ka::default_backend(), panel.view(), tau.view(),
+    Matrix<float> tau(qr::panel_tau_rows(mpad / 32, lpad / 32), 32, 0.0f);
+    qr::panel_qr_factor<float>(ka::default_backend(), panel.view(), tau.view(),
                                  cfg, nullptr, &acc_view);
     // acc now holds Q^T X, and generically differs from X.
     EXPECT_GT(ref::fro_diff(acc.view(), convert<float>(x64).view()), 1e-2);
 
-    rsvd::panel_apply_q<float, float>(ka::default_backend(), panel.view(),
+    qr::panel_apply_q<float, float>(ka::default_backend(), panel.view(),
                                       tau.view(), acc_view, cfg);
     EXPECT_LT(ref::fro_diff(acc.view(), convert<float>(x64).view()),
               1e-4 * ref::fro_norm(x64.view()))
@@ -154,13 +154,13 @@ TEST(PanelApplyQ, ComposesOrthonormalBasis) {
   const index_t lpad = 64;
   qr::KernelConfig cfg;
   Matrix<double> panel = testutil::random_matrix(mpad, lpad, 31);
-  Matrix<double> tau(rsvd::panel_tau_rows(mpad / 32, lpad / 32), 32, 0.0);
-  rsvd::panel_qr_factor<double>(ka::default_backend(), panel.view(), tau.view(),
+  Matrix<double> tau(qr::panel_tau_rows(mpad / 32, lpad / 32), 32, 0.0);
+  qr::panel_qr_factor<double>(ka::default_backend(), panel.view(), tau.view(),
                                 cfg);
   Matrix<double> q(mpad, lpad, 0.0);
   for (index_t i = 0; i < lpad; ++i) q(i, i) = 1.0;
   MatrixView<double> q_view = q.view();
-  rsvd::panel_apply_q<double, double>(ka::default_backend(), panel.view(),
+  qr::panel_apply_q<double, double>(ka::default_backend(), panel.view(),
                                       tau.view(), q_view, cfg);
   EXPECT_LT(ref::orthogonality_defect(q.view()), 1e-12 * mpad);
 }
@@ -329,7 +329,7 @@ TEST(Rsvd, AdaptiveRankFindsTheKnee) {
   cfg.svd.kernels.colperblock = 8;
   const auto rep = svd_truncated_report<float>(a.view(), cfg);
   EXPECT_EQ(rep.rank, 6);
-  EXPECT_GE(rep.adaptive_rounds, 1);  // had to grow at least once
+  EXPECT_GE(rep.adaptive_rounds, 2);  // executed the first round AND a regrow
   EXPECT_LE(rep.sigma_tail, 1e-2 * rep.values[0]);
   const double resid = trunc_residual(a64, rep);
   EXPECT_LE(resid, 2.0 * optimal_error(sigma, 6) +
@@ -357,6 +357,99 @@ TEST(Rsvd, DenseFallbackMatchesDenseTruncation) {
               dense.values[static_cast<std::size_t>(i)]);
   }
   EXPECT_EQ(rep.sigma_tail, dense.values[20]);
+}
+
+TEST(Rsvd, AdaptiveRoundsCountSketchRoundsExecuted) {
+  // TruncReport::adaptive_rounds is "sketch rounds executed", at EVERY
+  // exit: 1 for a fixed-rank or first-fit adaptive solve, 0 when the dense
+  // fallback fires before any sketch, and the failed rounds still count
+  // when the max-rank fallback ends an adaptive run.
+  const auto sigma = decaying_spectrum(64, 6);
+  rnd::Xoshiro256 rng(31);
+  const Matrix<float> a =
+      convert<float>(rnd::rect_matrix_with_spectrum(192, 64, sigma, rng));
+
+  // Fixed rank, one sketch pass.
+  TruncConfig fixed;
+  fixed.rank = 8;
+  fixed.oversample = 4;
+  const auto rep_fixed = svd_truncated_report<float>(a.view(), fixed);
+  EXPECT_FALSE(rep_fixed.dense_fallback);
+  EXPECT_EQ(rep_fixed.adaptive_rounds, 1);
+
+  // Adaptive, knee inside the first sketch: still exactly one round.
+  TruncConfig first_fit;
+  first_fit.rank = 16;
+  first_fit.oversample = 8;
+  first_fit.tol = 1e-2;
+  const auto rep_fit = svd_truncated_report<float>(a.view(), first_fit);
+  EXPECT_FALSE(rep_fit.dense_fallback);
+  EXPECT_EQ(rep_fit.adaptive_rounds, 1);
+
+  // Sketch as wide as the problem: dense fallback BEFORE any sketch ran.
+  const Matrix<float> small_m = convert<float>(testutil::random_matrix(48, 24, 33));
+  TruncConfig too_wide;
+  too_wide.rank = 20;
+  too_wide.oversample = 8;
+  const auto rep_wide = svd_truncated_report<float>(small_m.view(), too_wide);
+  EXPECT_TRUE(rep_wide.dense_fallback);
+  EXPECT_EQ(rep_wide.adaptive_rounds, 0);
+
+  // Flat spectrum, unreachable tol, rank already at max_rank: the one
+  // executed sketch round is counted on the max-rank fallback exit.
+  std::vector<double> flat(64, 1.0);
+  rnd::Xoshiro256 rng2(35);
+  const Matrix<float> af =
+      convert<float>(rnd::rect_matrix_with_spectrum(192, 64, flat, rng2));
+  TruncConfig capped;
+  capped.rank = 8;
+  capped.max_rank = 8;
+  capped.oversample = 4;
+  capped.tol = 1e-8;
+  const auto rep_cap = svd_truncated_report<float>(af.view(), capped);
+  EXPECT_TRUE(rep_cap.dense_fallback);
+  EXPECT_EQ(rep_cap.adaptive_rounds, 1);
+}
+
+TEST(RsvdBatched, PerProblemSeedsDecorrelateSketches) {
+  // Two IDENTICAL matrices in one batch must draw DIFFERENT Gaussian
+  // sketches (trunc_problem_seed differs per index) — a single shared
+  // sketch would make every problem fail together on an input adversarial
+  // to that one draw. The factors therefore differ in their low-order bits
+  // while both stay accurate; each entry still reproduces exactly from a
+  // solo call with the derived seed.
+  const auto sigma = decaying_spectrum(48, 6);
+  rnd::Xoshiro256 rng(77);
+  const Matrix<float> a =
+      convert<float>(rnd::rect_matrix_with_spectrum(144, 48, sigma, rng));
+  const std::vector<ConstMatrixView<float>> views{a.view(), a.view()};
+
+  TruncConfig trunc;
+  trunc.rank = 6;
+  trunc.oversample = 4;
+  trunc.power_iters = 1;
+  trunc.seed = 2024;
+  EXPECT_NE(trunc_problem_seed(trunc.seed, 0), trunc_problem_seed(trunc.seed, 1));
+  EXPECT_NE(trunc_problem_seed(trunc.seed, 0), trunc.seed);
+
+  BatchConfig config;
+  const auto rep = svd_truncated_batched_report<float>(
+      std::span<const ConstMatrixView<float>>(views), trunc, config);
+  ASSERT_TRUE(rep.all_ok());
+  ASSERT_EQ(rep.reports.size(), 2u);
+  EXPECT_GT(ref::fro_diff(rep.reports[0].u.view(), rep.reports[1].u.view()), 0.0);
+
+  for (std::size_t p = 0; p < views.size(); ++p) {
+    TruncConfig per = trunc;
+    per.seed = trunc_problem_seed(trunc.seed, p);
+    const auto solo = svd_truncated_report<float>(views[p], per);
+    ASSERT_EQ(solo.values.size(), rep.reports[p].values.size());
+    for (std::size_t i = 0; i < solo.values.size(); ++i) {
+      EXPECT_EQ(solo.values[i], rep.reports[p].values[i]) << "problem " << p;
+    }
+    EXPECT_EQ(ref::fro_diff(solo.u.view(), rep.reports[p].u.view()), 0.0);
+    EXPECT_EQ(ref::fro_diff(solo.vt.view(), rep.reports[p].vt.view()), 0.0);
+  }
 }
 
 TEST(Rsvd, AutoScaleHandlesHalfRange) {
@@ -466,10 +559,13 @@ TEST(RsvdBatched, ScheduleInvariance) {
   trunc.oversample = 4;
   trunc.power_iters = 1;
 
-  // Solo reference.
+  // Solo reference: problem p of a batch runs under its own decorrelated
+  // sketch seed trunc_problem_seed(seed, p), so the solo call must too.
   std::vector<TruncReport> solo;
-  for (const auto& v : views) {
-    solo.push_back(svd_truncated_report<float>(v, trunc));
+  for (std::size_t p = 0; p < views.size(); ++p) {
+    TruncConfig per = trunc;
+    per.seed = trunc_problem_seed(trunc.seed, p);
+    solo.push_back(svd_truncated_report<float>(views[p], per));
   }
 
   for (const BatchSchedule schedule :

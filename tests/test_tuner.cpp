@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -163,6 +165,100 @@ TEST(TuningTable, CorruptLinesAreSkippedGoodLinesSurvive) {
   EXPECT_EQ(table.size(), 3u);
 }
 
+TEST(TuningTable, SaveIsAtomicAndLeavesNoTempFile) {
+  // save() writes <path>.tmp.<pid>.<seq> and renames it over the target:
+  // after a successful save the directory holds exactly the table, no temp
+  // debris, and a pre-existing stale temp file from a crashed writer is
+  // harmless.
+  namespace fs = std::filesystem;
+  const std::string dir = temp_path("unisvd_atomic_save");
+  fs::create_directories(dir);
+  const std::string path = dir + "/tuning.txt";
+  {
+    std::ofstream stale(path + ".tmp.99999");  // a crashed writer's leftovers
+    stale << "crossover cpu FP32 1\n";
+  }
+  const auto table = sample_table();
+  ASSERT_TRUE(table.save(path));
+  ASSERT_TRUE(table.save(path));  // overwrite is atomic too
+
+  std::size_t entries = 0;
+  std::size_t own_temps = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name == "tuning.txt") ++entries;
+    if (name.find(".tmp.") != std::string::npos && name != "tuning.txt.tmp.99999") {
+      ++own_temps;
+    }
+  }
+  EXPECT_EQ(entries, 1u);
+  EXPECT_EQ(own_temps, 0u);  // our writer cleaned up after itself
+  EXPECT_EQ(core::TuningTable::load(path).size(), table.size());
+
+  // An unwritable destination reports failure instead of corrupting state.
+  EXPECT_FALSE(table.save(dir + "/no_such_dir/tuning.txt"));
+}
+
+TEST(TuningTable, TruncatedTableLoadsSurvivorsWithWarning) {
+  // A write cut off mid-line (the pre-atomic-save failure mode) loads every
+  // intact entry, drops the torn one, and says so on stderr — never throws.
+  const std::string path = temp_path("unisvd_tuning_truncated.txt");
+  {
+    std::ofstream os(path);
+    os << "# unisvd tuning table v1\n"
+       << "crossover cpu FP32 160\n"
+       << "crossover cpu FP6\n"     // torn inside the precision token
+       << "kernels cpu FP64 16 8 2 1\n"
+       << "crossov";                // torn inside the directive token itself
+  }
+  ::testing::internal::CaptureStderr();
+  const auto table = core::TuningTable::load(path);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.batch_crossover("cpu", Precision::FP32), 160);
+  EXPECT_NE(warning.find("malformed"), std::string::npos) << warning;
+}
+
+TEST(TuningTable, GarbageTableLoadsAsEmptyWithWarning) {
+  const std::string path = temp_path("unisvd_tuning_garbage.txt");
+  {
+    std::ofstream os(path);
+    os << "crossover \x01\x02\n"
+       << "kernels cpu FP32 broken\n"
+       << "rsvd !!\n";
+  }
+  ::testing::internal::CaptureStderr();
+  const auto table = core::TuningTable::load(path);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(table.empty());
+  EXPECT_NE(warning.find("loading as empty"), std::string::npos) << warning;
+}
+
+TEST(TuningTable, QrFirstAspectRoundTripsWithFallbacks) {
+  core::TuningTable table;
+  table.set_qr_first_aspect("cpu", Precision::FP32, 1.5);
+  // An irrational-looking measured value must survive the text round trip
+  // exactly (the aspect is the format's only floating-point field).
+  table.set_qr_first_aspect("gpu-x", Precision::FP16, 1.6180339887498949);
+  table.set_qr_first_aspect("serial", Precision::FP64, core::kQrFirstAspectNever);
+  const std::string path = temp_path("unisvd_tuning_qr_first.txt");
+  ASSERT_TRUE(table.save(path));
+
+  const auto loaded = core::TuningTable::load(path);
+  EXPECT_EQ(loaded.size(), 3u);
+  ASSERT_TRUE(loaded.qr_first_aspect("cpu", Precision::FP32).has_value());
+  EXPECT_DOUBLE_EQ(*loaded.qr_first_aspect("cpu", Precision::FP32), 1.5);
+  ASSERT_TRUE(loaded.qr_first_aspect("gpu-x", Precision::FP16).has_value());
+  EXPECT_EQ(*loaded.qr_first_aspect("gpu-x", Precision::FP16),
+            1.6180339887498949);
+  // The "never faster" sentinel survives the text round trip.
+  EXPECT_DOUBLE_EQ(*loaded.qr_first_aspect("serial", Precision::FP64),
+                   core::kQrFirstAspectNever);
+  // Nearest-precision fallback and caller-default rules match the others.
+  EXPECT_DOUBLE_EQ(loaded.qr_first_aspect_or("cpu", Precision::FP16, 9.0), 1.5);
+  EXPECT_DOUBLE_EQ(loaded.qr_first_aspect_or("gpu-sim", Precision::FP32, 9.0), 9.0);
+}
+
 TEST(TuningTable, RejectsInvalidEntries) {
   core::TuningTable table;
   EXPECT_THROW(table.set_batch_crossover("cpu", Precision::FP32, -1), Error);
@@ -179,6 +275,11 @@ TEST(TuningTable, RejectsInvalidEntries) {
   EXPECT_THROW(
       table.set_rsvd("a b", Precision::FP32, core::TuningTable::RsvdDefaults{}),
       Error);
+  EXPECT_THROW(table.set_qr_first_aspect("cpu", Precision::FP32, 0.0), Error);
+  EXPECT_THROW(table.set_qr_first_aspect("cpu", Precision::FP32,
+                                         std::numeric_limits<double>::infinity()),
+               Error);
+  EXPECT_THROW(table.set_qr_first_aspect("a b", Precision::FP32, 2.0), Error);
 }
 
 TEST(TuningTable, RsvdEntriesRoundTripWithFallbacks) {
