@@ -7,7 +7,7 @@
 /// steal the large problems' kernel workgroups instead of waiting out the
 /// tail).
 ///
-///   $ ./bench_batched_throughput [threads] [max_n]
+///   $ ./bench_batched_throughput [threads] [max_n] [--json <path>]
 ///
 /// The inter/intra ratio directly visualizes the scheduling crossover that
 /// BatchConfig::crossover_n encodes, core::tune_batch_crossover learns and
@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -41,7 +42,8 @@ double problems_per_sec(ka::Backend& backend,
 }
 
 template <class T>
-void run_precision(ka::Backend& backend, index_t max_n) {
+void run_precision(benchutil::JsonSink& sink, ka::Backend& backend,
+                   index_t max_n) {
   benchutil::print_header(std::string("batched svdvals throughput — ") +
                           std::string(precision_traits<T>::name) + " (backend: " +
                           std::string(backend.name()) + ")");
@@ -73,6 +75,14 @@ void run_precision(ka::Backend& backend, index_t max_n) {
       std::printf("%6lld %6zu | %12.1f %12.1f %12.1f %12.1f | %9.2f\n",
                   static_cast<long long>(n), batch_size, inter, intra, mixed, aut,
                   inter / intra);
+      const std::string base = std::string("batched/") +
+                               std::string(precision_traits<T>::name) + "/n=" +
+                               std::to_string(static_cast<long long>(n)) +
+                               "/batch=" + std::to_string(batch_size);
+      sink.record(base + "/inter", inter, "problems/s");
+      sink.record(base + "/intra", intra, "problems/s");
+      sink.record(base + "/mixed", mixed, "problems/s");
+      sink.record(base + "/auto", aut, "problems/s");
     }
   }
 }
@@ -81,7 +91,7 @@ void run_precision(ka::Backend& backend, index_t max_n) {
 /// large problems plus a long queue of small ones. Inter serializes each
 /// large problem inside one slot; intra runs the smalls one by one with
 /// underused kernels; mixed overlaps both phases.
-void run_ragged(ka::Backend& backend, index_t max_n) {
+void run_ragged(benchutil::JsonSink& sink, ka::Backend& backend, index_t max_n) {
   benchutil::print_header("ragged batch (few large + many small) — FP64 (backend: " +
                           std::string(backend.name()) + ")");
   const index_t large_n = std::min<index_t>(max_n, 256);
@@ -117,6 +127,7 @@ void run_ragged(ka::Backend& backend, index_t max_n) {
   for (const auto& [name, schedule] : schedules) {
     const double rate = problems_per_sec<double>(backend, views, schedule, crossover);
     std::printf("  %-5s %10.1f problems/s\n", name, rate);
+    sink.record(std::string("ragged/") + name, rate, "problems/s");
     if (schedule == BatchSchedule::Mixed) {
       mixed_rate = rate;
     } else {
@@ -124,19 +135,30 @@ void run_ragged(ka::Backend& backend, index_t max_n) {
     }
   }
   std::printf("  mixed / best-pure speedup: %.2fx\n", mixed_rate / best_pure);
+  sink.record("ragged/mixed_vs_best_pure", mixed_rate / best_pure, "x");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int threads_arg = argc > 1 ? std::atoi(argv[1]) : 0;
+  auto sink = benchutil::JsonSink::from_args("batched_throughput", argc, argv);
+  // Positional args with the --json pair stripped out.
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    pos.emplace_back(argv[i]);
+  }
+  const int threads_arg = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 0;
   const unsigned threads = threads_arg > 0 ? static_cast<unsigned>(threads_arg) : 0;
-  const index_t max_n = argc > 2 ? std::atoll(argv[2]) : 128;
+  const index_t max_n = pos.size() > 1 ? std::atoll(pos[1].c_str()) : 128;
   ka::CpuBackend backend(threads);
   std::printf("pool width: %u threads\n", backend.pool().size());
-  run_precision<double>(backend, max_n);
-  run_precision<float>(backend, max_n);
-  run_precision<Half>(backend, max_n);
-  run_ragged(backend, max_n);
-  return 0;
+  run_precision<double>(sink, backend, max_n);
+  run_precision<float>(sink, backend, max_n);
+  run_precision<Half>(sink, backend, max_n);
+  run_ragged(sink, backend, max_n);
+  return sink.flush() ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #pragma once
 /// Shared helpers for the benchmark harness binaries: aligned table
-/// printing, geometric means, time formatting.
+/// printing, geometric means, time formatting, and the machine-readable
+/// JSON sink behind the CI `bench-results` artifact (--json <path>).
 
 #include <chrono>
 #include <cmath>
@@ -82,5 +83,63 @@ inline void print_header(const std::string& title) {
   std::printf("%s\n", title.c_str());
   print_rule();
 }
+
+/// Machine-readable result sink: every row the table printers show can also
+/// be recorded as {"name", "value", "unit"} and flushed to the path given
+/// by `--json <path>`. CI uploads these files as the `bench-results`
+/// workflow artifact (BENCH_<bench>.json), seeding the per-push perf
+/// trajectory. Disabled (all calls no-ops) when no path was requested, so
+/// interactive runs stay pure table output.
+class JsonSink {
+ public:
+  /// Scan argv for `--json <path>`; absent -> disabled sink.
+  static JsonSink from_args(const std::string& bench_name, int argc, char** argv) {
+    JsonSink sink(bench_name);
+    for (int i = 0; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") sink.path_ = argv[i + 1];
+    }
+    return sink;
+  }
+
+  explicit JsonSink(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void record(const std::string& name, double value, const std::string& unit) {
+    if (!enabled()) return;
+    rows_.push_back(Row{name, value, unit});
+  }
+
+  /// Write the collected rows; returns false (with a stderr note) when the
+  /// path is not writable. Call once at the end of main.
+  bool flush() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write --json path %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n", bench_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.9g, \"unit\": \"%s\"}%s\n",
+                   rows_[i].name.c_str(), rows_[i].value, rows_[i].unit.c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\n[json] %zu results -> %s\n", rows_.size(), path_.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace benchutil

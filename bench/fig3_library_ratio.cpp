@@ -6,13 +6,15 @@
 #include <cstdio>
 #include <vector>
 
+#include "backend_compare.hpp"
 #include "bench_util.hpp"
 #include "sim/library_model.hpp"
 
 using namespace unisvd;
 using namespace unisvd::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sink = benchutil::JsonSink::from_args("fig3_library_ratio", argc, argv);
   benchutil::print_header(
       "Figure 3 -- runtime ratio library/unified (higher = unified faster)");
 
@@ -40,6 +42,9 @@ int main() {
                              unified_model().seconds(*dev, n, p);
         gm[di].add(ratio);
         std::printf("%10.2f", ratio);
+        sink.record("sim/" + std::string(lib->name()) + "/" + dev->name +
+                        "/n=" + std::to_string(static_cast<long long>(n)),
+                    ratio, "x");
       }
       std::printf("\n");
     }
@@ -68,5 +73,7 @@ int main() {
       "\nExpected shape (paper Fig. 3 / Table 4): unified outperforms SLATE\n"
       "at every size and MAGMA above ~1024-2048; MAGMA's host path wins at\n"
       "small sizes; SLATE degrades most on the consumer RTX4060.\n");
-  return 0;
+
+  benchutil::backend_compare_section<float>(sink, "fp32", {64, 128, 192});
+  return sink.flush() ? 0 : 1;
 }

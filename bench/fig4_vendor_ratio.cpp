@@ -6,13 +6,15 @@
 #include <cstdio>
 #include <vector>
 
+#include "backend_compare.hpp"
 #include "bench_util.hpp"
 #include "sim/library_model.hpp"
 
 using namespace unisvd;
 using namespace unisvd::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sink = benchutil::JsonSink::from_args("fig4_vendor_ratio", argc, argv);
   benchutil::print_header(
       "Figure 4 -- runtime ratio vendor/unified (higher = unified faster)");
 
@@ -53,6 +55,9 @@ int main() {
           pr.lib->seconds(*pr.dev, n, p) / unified_model().seconds(*pr.dev, n, p);
       gm[i].add(ratio);
       std::printf("%10.2f", ratio);
+      sink.record("sim/" + std::string(pr.lib->name()) + "/" + pr.dev->name +
+                      "/n=" + std::to_string(static_cast<long long>(n)),
+                  ratio, "x");
     }
     std::printf("\n");
   }
@@ -68,5 +73,7 @@ int main() {
       "\n\nExpected shape (paper Fig. 4 / Table 4): unified beats rocSOLVER at\n"
       "every size and cuSOLVER on the consumer RTX4060; reaches 50-90%% of\n"
       "cuSOLVER on A100/H100 (ratio 0.5-0.9); overtakes oneMKL beyond ~2048.\n");
-  return 0;
+
+  benchutil::backend_compare_section<double>(sink, "fp64", {64, 128, 192});
+  return sink.flush() ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "backend_compare.hpp"
 #include "bench_util.hpp"
 #include "sim/library_model.hpp"
 #include "sim/tuning.hpp"
@@ -17,7 +18,8 @@
 using namespace unisvd;
 using namespace unisvd::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sink = benchutil::JsonSink::from_args("fig5_portability", argc, argv);
   benchutil::print_header(
       "Figure 5 -- unified svdvals runtime across hardware and precision "
       "(simulated on paper Table 2 device profiles)");
@@ -45,6 +47,9 @@ int main() {
         }
         const double t = simulate_unified(*dev, n, p).total();
         std::printf("%12s", benchutil::fmt_seconds(t).c_str());
+        sink.record("sim/" + dev->name + "/" + std::string(to_string(p)) +
+                        "/n=" + std::to_string(static_cast<long long>(n)),
+                    t, "s");
       }
       std::printf("\n");
     }
@@ -55,5 +60,11 @@ int main() {
       "FP32 CUDA cores) while reaching larger sizes; Apple Metal lacks FP64;\n"
       "Julia/AMDGPU lacked FP16 conversion at paper time; Intel results were\n"
       "provided for FP32.\n");
-  return 0;
+
+  // The portability figure gets the full precision sweep on the real
+  // backends: FP16 rides the FP32 compute path, so its speedup tracks FP32.
+  benchutil::backend_compare_section<Half>(sink, "fp16", {64, 128});
+  benchutil::backend_compare_section<float>(sink, "fp32", {64, 128});
+  benchutil::backend_compare_section<double>(sink, "fp64", {64, 128});
+  return sink.flush() ? 0 : 1;
 }

@@ -6,7 +6,7 @@
 /// same Thin job (time AND peak accumulator memory: the QR-first claim is
 /// O(m_pad * n_pad) instead of O(m_pad^2)).
 ///
-/// Usage: bench_rank_k_throughput [m] [n] [rank] [repeats]
+/// Usage: bench_rank_k_throughput [m] [n] [rank] [repeats] [--json <path>]
 ///
 /// Defaults reproduce the acceptance case: a 2048 x 256 FP32 tall matrix at
 /// rank 32, where svd_truncated must run >= 3x faster than svd(Thin) while
@@ -18,8 +18,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/linalg_ref.hpp"
 #include "core/svd.hpp"
 #include "core/tuner.hpp"
@@ -49,8 +51,9 @@ double best_of(int repeats, F&& f) {
 }
 
 template <class T>
-void run_case(const Matrix<double>& a64, const std::vector<double>& sigma,
-              index_t rank, int repeats, const char* tag) {
+void run_case(benchutil::JsonSink& sink, const Matrix<double>& a64,
+              const std::vector<double>& sigma, index_t rank, int repeats,
+              const char* tag) {
   const Matrix<T> a = rnd::round_to<T>(a64);
 
   TruncConfig tc;
@@ -79,6 +82,12 @@ void run_case(const Matrix<double>& a64, const std::vector<double>& sigma,
   std::printf("  %-5s %6lld %10.1f %10.1f %8.2fx %11.3e %9.2f\n", tag,
               static_cast<long long>(rank), 1e3 * t_rsvd, 1e3 * t_dense,
               t_dense / t_rsvd, resid, ratio);
+  const std::string base = std::string("rsvd/") + tag + "/rank=" +
+                           std::to_string(static_cast<long long>(rank));
+  sink.record(base + "/rsvd", t_rsvd, "s");
+  sink.record(base + "/dense", t_dense, "s");
+  sink.record(base + "/speedup", t_dense / t_rsvd, "x");
+  sink.record(base + "/resid_vs_opt", ratio, "ratio");
 }
 
 /// Tall-thin dense section: the QR-first path (tall-panel QR + small R
@@ -88,7 +97,8 @@ void run_case(const Matrix<double>& a64, const std::vector<double>& sigma,
 /// values are bit-identical between the two paths (tests/test_qr_first.cpp
 /// enforces it — here we just report the max deviation as a sanity column).
 template <class T>
-void run_tall_thin_case(const Matrix<double>& a64, int repeats, const char* tag) {
+void run_tall_thin_case(benchutil::JsonSink& sink, const Matrix<double>& a64,
+                        int repeats, const char* tag) {
   const Matrix<T> a = rnd::round_to<T>(a64);
 
   const auto measure = [&](double aspect, SvdReport& rep, std::size_t& peak) {
@@ -122,15 +132,31 @@ void run_tall_thin_case(const Matrix<double>& a64, int repeats, const char* tag)
   std::printf("  %-5s %10.1f %10.1f %8.2fx %9.1f %9.1f %11.3e\n", tag,
               1e3 * t_qr, 1e3 * t_gen, t_gen / t_qr, qpeak / 1e6, gpeak / 1e6,
               maxdiff);
+  const std::string base = std::string("qr_first/") + tag;
+  sink.record(base + "/qr_first", t_qr, "s");
+  sink.record(base + "/generic", t_gen, "s");
+  sink.record(base + "/speedup", t_gen / t_qr, "x");
+  sink.record(base + "/qr_first_peak", qpeak / 1e6, "MB");
+  sink.record(base + "/generic_peak", gpeak / 1e6, "MB");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const index_t m = argc > 1 ? std::atoll(argv[1]) : 2048;
-  const index_t n = argc > 2 ? std::atoll(argv[2]) : 256;
-  const index_t rank = argc > 3 ? std::atoll(argv[3]) : 32;
-  const int repeats = argc > 4 ? std::atoi(argv[4]) : 1;
+  auto sink = benchutil::JsonSink::from_args("rank_k_throughput", argc, argv);
+  // Positional args with the --json pair stripped out.
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    pos.emplace_back(argv[i]);
+  }
+  const index_t m = pos.size() > 0 ? std::atoll(pos[0].c_str()) : 2048;
+  const index_t n = pos.size() > 1 ? std::atoll(pos[1].c_str()) : 256;
+  const index_t rank = pos.size() > 2 ? std::atoll(pos[2].c_str()) : 32;
+  const int repeats = pos.size() > 3 ? std::atoi(pos[3].c_str()) : 1;
 
   std::printf(
       "Rank-k throughput: randomized truncated SVD vs dense SvdJob::Thin\n"
@@ -151,16 +177,16 @@ int main(int argc, char** argv) {
               "dense ms", "speedup", "resid_F", "vs opt");
 
   // Acceptance case across precisions at the requested rank.
-  run_case<float>(a64, sigma, rank, repeats, "FP32");
-  run_case<Half>(a64, sigma, rank, repeats, "FP16");
-  run_case<double>(a64, sigma, rank, repeats, "FP64");
+  run_case<float>(sink, a64, sigma, rank, repeats, "FP32");
+  run_case<Half>(sink, a64, sigma, rank, repeats, "FP16");
+  run_case<double>(sink, a64, sigma, rank, repeats, "FP64");
 
   // Rank sweep (FP32): where the randomized path stops paying off.
   std::printf("\nFP32 rank sweep:\n");
   std::printf("  %-5s %6s %10s %10s %9s %11s %9s\n", "prec", "rank", "rsvd ms",
               "dense ms", "speedup", "resid_F", "vs opt");
   for (index_t k = 8; k <= minmn / 2; k *= 2) {
-    run_case<float>(a64, sigma, k, repeats, "FP32");
+    run_case<float>(sink, a64, sigma, k, repeats, "FP32");
   }
 
   // Tall-thin dense section: QR-first vs generic svd(Thin) at this shape.
@@ -174,8 +200,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(n), static_cast<long long>(n));
     std::printf("  %-5s %10s %10s %9s %9s %9s %11s\n", "prec", "qr1st ms",
                 "generic ms", "speedup", "qr1st MB", "gen MB", "max|dsigma|");
-    run_tall_thin_case<float>(a64, repeats, "FP32");
-    run_tall_thin_case<Half>(a64, repeats, "FP16");
+    run_tall_thin_case<float>(sink, a64, repeats, "FP32");
+    run_tall_thin_case<Half>(sink, a64, repeats, "FP16");
   }
 
   std::printf(
@@ -185,5 +211,5 @@ int main(int argc, char** argv) {
       "section shows the QR-first dense path beating the generic one in both\n"
       "time and peak accumulator memory (O(m_pad*n_pad) vs O(m_pad^2)),\n"
       "with bit-identical singular values.\n");
-  return 0;
+  return sink.flush() ? 0 : 1;
 }

@@ -1,0 +1,150 @@
+#pragma once
+/// \file simd.hpp
+/// Portable SIMD vector types for the vectorized CPU backend.
+///
+/// Built on the GCC/Clang vector-size extension rather than raw AVX
+/// intrinsics: the compiler lowers a 32-byte vector to AVX2 registers when
+/// the target supports them (`-march=x86-64-v3` in the SIMD CI job) and to
+/// narrower or scalar sequences everywhere else, so the same kernel bodies
+/// stay correct on any architecture. All arithmetic is element-wise IEEE:
+/// lane i of a vector op performs exactly the scalar operation the
+/// reference kernel performs for the work-item that lane represents, in the
+/// same order — which is how the vectorized backend keeps the ValuesOnly
+/// bit-determinism contract (tests/test_backend_parity.cpp). The build pins
+/// `-ffp-contract=off` (CMakeLists.txt) so neither path silently fuses
+/// multiply-add chains the other one keeps separate.
+///
+/// Everything here is compiled only under -DUNISVD_SIMD=ON (the
+/// UNISVD_SIMD_COMPILED gate); scalar builds see the gate macro and nothing
+/// else, so kernel headers can `#if` around their vector bodies.
+
+#if defined(UNISVD_SIMD) && UNISVD_SIMD && \
+    (defined(__GNUC__) || defined(__clang__))
+#define UNISVD_SIMD_COMPILED 1
+#else
+#define UNISVD_SIMD_COMPILED 0
+#endif
+
+#include <cstddef>
+#include <cstring>
+
+namespace unisvd::ka::simd {
+
+/// Vector register width the kernels target: 32 bytes (AVX2 / SVE-256
+/// class). On narrower hardware the compiler splits each op; lanes and
+/// per-lane semantics are unchanged.
+inline constexpr int kVectorBytes = 32;
+
+#if UNISVD_SIMD_COMPILED
+
+template <class CT>
+struct vec_traits;
+
+template <>
+struct vec_traits<float> {
+  using type = float __attribute__((vector_size(kVectorBytes)));
+  static constexpr int lanes = kVectorBytes / static_cast<int>(sizeof(float));
+};
+
+template <>
+struct vec_traits<double> {
+  using type = double __attribute__((vector_size(kVectorBytes)));
+  static constexpr int lanes = kVectorBytes / static_cast<int>(sizeof(double));
+};
+
+template <class CT>
+using vec_t = typename vec_traits<CT>::type;
+
+template <class CT>
+inline constexpr int lanes_v = vec_traits<CT>::lanes;
+
+/// Unaligned load/store through memcpy: lowered to vmovups / plain vector
+/// moves; never UB regardless of the pointer's alignment.
+template <class CT>
+[[nodiscard]] inline vec_t<CT> load(const CT* p) noexcept {
+  vec_t<CT> v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+template <class CT>
+inline void store(CT* p, vec_t<CT> v) noexcept {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+template <class CT>
+[[nodiscard]] inline vec_t<CT> broadcast(CT x) noexcept {
+  vec_t<CT> v;
+  for (int l = 0; l < lanes_v<CT>; ++l) v[l] = x;
+  return v;
+}
+
+/// Round `n` up to a whole number of lanes (scratch-row stride, so every
+/// lane block of a row is a full in-bounds vector; pad lanes are zeroed by
+/// the kernels and never stored back).
+template <class CT>
+[[nodiscard]] constexpr int padded_to_lanes(int n) noexcept {
+  return (n + lanes_v<CT> - 1) / lanes_v<CT> * lanes_v<CT>;
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise helpers for the panel-factorization kernels (geqrt/tsqrt).
+// Each helper performs, per element, EXACTLY the operation sequence of the
+// scalar loop it replaces — element-wise vectorization cannot reorder
+// anything, so results are bit-identical to the reference kernel.
+// ---------------------------------------------------------------------------
+
+/// a[i] -= rho * v[i] for i in [0, n).
+template <class CT>
+inline void sub_scaled(CT* a, const CT* v, CT rho, int n) noexcept {
+  constexpr int L = lanes_v<CT>;
+  const vec_t<CT> rv = broadcast(rho);
+  int i = 0;
+  for (; i + L <= n; i += L) {
+    store(a + i, load<CT>(a + i) - rv * load<CT>(v + i));
+  }
+  for (; i < n; ++i) a[i] -= rho * v[i];
+}
+
+/// a[i] -= rho * (v[i] / x) for i in [0, n) — the normalized-tail update of
+/// the Householder loops (the per-element division is kept, matching the
+/// scalar kernels' rounding exactly).
+template <class CT>
+inline void sub_scaled_div(CT* a, const CT* v, CT rho, CT x, int n) noexcept {
+  constexpr int L = lanes_v<CT>;
+  const vec_t<CT> rv = broadcast(rho);
+  const vec_t<CT> xv = broadcast(x);
+  int i = 0;
+  for (; i + L <= n; i += L) {
+    store(a + i, load<CT>(a + i) - rv * (load<CT>(v + i) / xv));
+  }
+  for (; i < n; ++i) a[i] -= rho * (v[i] / x);
+}
+
+/// a[i] += v[i] * w for i in [0, n) — the axpy accumulation step of the
+/// randomized sketch GEMM (one Omega element against a contiguous column
+/// segment of A).
+template <class CT>
+inline void add_scaled(CT* a, const CT* v, CT w, int n) noexcept {
+  constexpr int L = lanes_v<CT>;
+  const vec_t<CT> wv = broadcast(w);
+  int i = 0;
+  for (; i + L <= n; i += L) {
+    store(a + i, load<CT>(a + i) + load<CT>(v + i) * wv);
+  }
+  for (; i < n; ++i) a[i] += v[i] * w;
+}
+
+/// a[i] /= x for i in [0, n) — tail normalization at reflector stores.
+template <class CT>
+inline void div_inplace(CT* a, CT x, int n) noexcept {
+  constexpr int L = lanes_v<CT>;
+  const vec_t<CT> xv = broadcast(x);
+  int i = 0;
+  for (; i + L <= n; i += L) store(a + i, load<CT>(a + i) / xv);
+  for (; i < n; ++i) a[i] /= x;
+}
+
+#endif  // UNISVD_SIMD_COMPILED
+
+}  // namespace unisvd::ka::simd

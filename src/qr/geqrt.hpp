@@ -17,11 +17,13 @@
 /// executes the same updates with each column's reductions split across
 /// SPLITK work-items (a purely computational re-decomposition, paper §3.2).
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/matrix.hpp"
 #include "common/precision.hpp"
 #include "ka/backend.hpp"
+#include "ka/simd/simd.hpp"
 #include "ka/stage_times.hpp"
 #include "qr/kernel_config.hpp"
 
@@ -52,6 +54,15 @@ void geqrt(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
   desc.cost.bytes_read = cost::geqrt_bytes_r(ts, sizeof(T));
   desc.cost.bytes_written = cost::geqrt_bytes_w(ts, sizeof(T));
   desc.cost.serial_iterations = 3.0 * ts;
+
+#if UNISVD_SIMD_COMPILED
+  // Vectorized backends accelerate the register-resident column updates
+  // below (contiguous element-wise suffixes; the simd helpers perform the
+  // identical per-element operation sequence, so results are bit-identical).
+  // The norm/dot reductions stay scalar: vectorizing a reduction would
+  // reorder the sum and break determinism across backends.
+  const bool use_simd = be.vectorized();
+#endif
 
   ka::timed_launch(be, desc, [=](ka::WorkGroupCtx& wg) {
     auto Ai = wg.priv<CT>(static_cast<std::size_t>(seg));
@@ -142,14 +153,33 @@ void geqrt(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
           rho2 = (tau / x) * (rowk[i] * x + rho);
         }
         auto a = Ai(t);
+        // The r0 + rr > kk guard selects a contiguous suffix of the segment.
+        const int rr0 = std::clamp(kk - r0 + 1, 0, seg);
         if (i == kk) {
           if (s == 0) tauv[kk] = tau;
-          for (int rr = 0; rr < seg; ++rr) {
-            if (r0 + rr > kk) a[rr] = negligible ? CT(0) : a[rr] / x;
+          if (negligible) {
+            for (int rr = rr0; rr < seg; ++rr) a[rr] = CT(0);
+          } else {
+#if UNISVD_SIMD_COMPILED
+            if (use_simd) {
+              ka::simd::div_inplace(a.data() + rr0, x, seg - rr0);
+            } else
+#endif
+            {
+              for (int rr = rr0; rr < seg; ++rr) a[rr] /= x;
+            }
           }
         } else if (!negligible) {
-          for (int rr = 0; rr < seg; ++rr) {
-            if (r0 + rr > kk) a[rr] -= rho2 * (Ak[r0 + rr] / x);
+#if UNISVD_SIMD_COMPILED
+          if (use_simd) {
+            ka::simd::sub_scaled_div(a.data() + rr0, Ak.data() + r0 + rr0,
+                                     rho2, x, seg - rr0);
+          } else
+#endif
+          {
+            for (int rr = rr0; rr < seg; ++rr) {
+              a[rr] -= rho2 * (Ak[r0 + rr] / x);
+            }
           }
         }
         if (s == owner) a[kk - r0] = rowk[i] - rho2;  // row kk of R

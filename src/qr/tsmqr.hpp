@@ -19,9 +19,13 @@
 /// types, Stage::VectorAccumulation). Keeping a single body guarantees the
 /// two paths can never drift numerically.
 
+#include <algorithm>
+#include <type_traits>
+
 #include "common/matrix.hpp"
 #include "common/precision.hpp"
 #include "ka/backend.hpp"
+#include "ka/simd/simd.hpp"
 #include "ka/stage_times.hpp"
 #include "qr/kernel_config.hpp"
 
@@ -67,6 +71,136 @@ void tsmqr_impl(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
       cost::tsmqr_bytes_r(ts, nrows, ncols, wgs, sizeof(TA), sizeof(TS));
   desc.cost.bytes_written = cost::tsmqr_bytes_w(ts, nrows, ncols, sizeof(TA));
   desc.cost.serial_iterations = 2.0 * ts * static_cast<double>(nrows);
+
+#if UNISVD_SIMD_COMPILED
+  // Vector body: lanes across columns, NB vectors (NB*L columns) staged per
+  // chunk. Y (top row) and X (bottom row) chunks are staged transposed into
+  // ts x NB*L scratch whose row stride is the chunk width — every
+  // reflector-loop access is a contiguous walk of an L1-resident buffer —
+  // and the top-row chunk still loads once per bottom-row chain (the fusion
+  // saving of Figure 2). NB independent accumulator chains per reduction
+  // hide the FP-add latency a single chain would serialize on. Per lane the
+  // sequence — zeroed dot over the full bottom column, combine with y[kk],
+  // scale by tau_hat[kk], rank-1 update over all ts rows — matches the
+  // scalar work-item exactly, so results are bit-identical. Pad lanes are
+  // zero-filled and never stored. LaunchDesc is shared with the scalar
+  // body, keeping trace streams equal across backends.
+  if (be.vectorized()) {
+    namespace sd = ka::simd;
+    constexpr int L = sd::lanes_v<CT>;
+    const int nblk = sd::padded_to_lanes<CT>(cpb) / L;
+    ka::timed_launch(be, desc, [=](ka::WorkGroupCtx& wg) {
+      auto Akbuf = wg.local<CT>(static_cast<std::size_t>(ts));
+      auto Tk = wg.local<CT>(static_cast<std::size_t>(ts));
+      const index_t cg0 = col0 + wg.group_id() * cpb;
+      const int nc = static_cast<int>(std::min<index_t>(cpb, colend - cg0));
+
+      const auto chunk = [&](auto nbc, int j0) {
+        constexpr int NB = decltype(nbc)::value;
+        constexpr int W = NB * L;  // chunk width == staging row stride
+        auto Yc = wg.local<CT>(static_cast<std::size_t>(ts) * W);
+        auto Xc = wg.local<CT>(static_cast<std::size_t>(ts) * W);
+        const int ncb = std::clamp(nc - j0, 0, W);
+        if (ncb == 0) return;
+        for (int r = 0; r < ts; ++r) {  // top row loaded ONCE per chunk
+          CT* row = Yc.data() + static_cast<std::size_t>(r) * W;
+          for (int j = 0; j < ncb; ++j) {
+            row[j] = static_cast<CT>(C.at(rtop + r, cg0 + j0 + j));
+          }
+          for (int j = ncb; j < W; ++j) row[j] = CT(0);
+        }
+
+        for (index_t lstep = lbegin; lstep < lend; ++lstep) {
+          const index_t l =
+              dir == ApplyDir::Forward ? lstep : lend - 1 - (lstep - lbegin);
+          const index_t rbot = l * ts;
+
+          for (int idx = 0; idx < ts; ++idx) {
+            Tk[idx] = static_cast<CT>(Tau.at(l, idx));
+          }
+          for (int r = 0; r < ts; ++r) {
+            CT* row = Xc.data() + static_cast<std::size_t>(r) * W;
+            for (int j = 0; j < ncb; ++j) {
+              row[j] = static_cast<CT>(C.at(rbot + r, cg0 + j0 + j));
+            }
+            for (int j = ncb; j < W; ++j) row[j] = CT(0);
+          }
+
+          for (int step = 0; step < ts; ++step) {
+            const int kk = dir == ApplyDir::Forward ? step : ts - 1 - step;
+            // Reflector tail kk is contiguous in a plain column-major view,
+            // so point straight at it when no precision cast is needed
+            // either. Transposed views (the LQ sweep of band_reduction) and
+            // casting storage types stage through Akbuf element-wise.
+            const CT* Ak = Akbuf.data();
+            bool direct = false;
+            if constexpr (std::is_same_v<TS, CT>) direct = !V.is_transposed();
+            if (direct) {
+              if constexpr (std::is_same_v<TS, CT>) {
+                Ak = &V.at(rbot, cbase + kk);
+              }
+            } else {
+              for (int idx = 0; idx < ts; ++idx) {
+                Akbuf[idx] = static_cast<CT>(V.at(rbot + idx, cbase + kk));
+              }
+            }
+            const sd::vec_t<CT> tkk = sd::broadcast(Tk[kk]);
+            CT* Ykk = Yc.data() + static_cast<std::size_t>(kk) * W;
+            sd::vec_t<CT> rho[NB];
+            for (int b = 0; b < NB; ++b) rho[b] = sd::broadcast(CT(0));
+            for (int r = 0; r < ts; ++r) {
+              const sd::vec_t<CT> akr = sd::broadcast(Ak[r]);
+              const CT* Xr = Xc.data() + static_cast<std::size_t>(r) * W;
+              for (int b = 0; b < NB; ++b) {
+                rho[b] += sd::load<CT>(Xr + b * L) * akr;
+              }
+            }
+            for (int b = 0; b < NB; ++b) {
+              const sd::vec_t<CT> ykk = sd::load<CT>(Ykk + b * L);
+              rho[b] = (rho[b] + ykk) * tkk;
+              sd::store(Ykk + b * L, ykk - rho[b]);
+            }
+            for (int r = 0; r < ts; ++r) {
+              const sd::vec_t<CT> akr = sd::broadcast(Ak[r]);
+              CT* Xr = Xc.data() + static_cast<std::size_t>(r) * W;
+              for (int b = 0; b < NB; ++b) {
+                sd::store(Xr + b * L, sd::load<CT>(Xr + b * L) - rho[b] * akr);
+              }
+            }
+          }
+
+          for (int r = 0; r < ts; ++r) {
+            const CT* row = Xc.data() + static_cast<std::size_t>(r) * W;
+            for (int j = 0; j < ncb; ++j) {
+              C.at(rbot + r, cg0 + j0 + j) = static_cast<TA>(row[j]);
+            }
+          }
+        }
+
+        for (int r = 0; r < ts; ++r) {
+          const CT* row = Yc.data() + static_cast<std::size_t>(r) * W;
+          for (int j = 0; j < ncb; ++j) {
+            C.at(rtop + r, cg0 + j0 + j) = static_cast<TA>(row[j]);
+          }
+        }
+      };
+
+      int b = 0;
+      while (nblk - b >= 4) {
+        chunk(std::integral_constant<int, 4>{}, b * L);
+        b += 4;
+      }
+      if (nblk - b >= 2) {
+        chunk(std::integral_constant<int, 2>{}, b * L);
+        b += 2;
+      }
+      if (nblk - b >= 1) {
+        chunk(std::integral_constant<int, 1>{}, b * L);
+      }
+    }, times);
+    return;
+  }
+#endif  // UNISVD_SIMD_COMPILED
 
   ka::timed_launch(be, desc, [=](ka::WorkGroupCtx& wg) {
     auto Yi = wg.priv<CT>(static_cast<std::size_t>(ts));  // top row column

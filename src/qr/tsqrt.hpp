@@ -17,6 +17,7 @@
 #include "common/matrix.hpp"
 #include "common/precision.hpp"
 #include "ka/backend.hpp"
+#include "ka/simd/simd.hpp"
 #include "ka/stage_times.hpp"
 #include "qr/kernel_config.hpp"
 
@@ -46,6 +47,13 @@ void tsqrt(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
   desc.cost.bytes_read = cost::tsqrt_bytes_r(ts, nrows, sizeof(T));
   desc.cost.bytes_written = cost::tsqrt_bytes_w(ts, nrows, sizeof(T));
   desc.cost.serial_iterations = 3.0 * ts * static_cast<double>(nrows);
+
+#if UNISVD_SIMD_COMPILED
+  // Vectorized backends accelerate the full-segment element-wise B updates
+  // below (same per-element operation sequence → bit-identical results);
+  // the norm/dot reductions stay scalar to keep the summation order.
+  const bool use_simd = be.vectorized();
+#endif
 
   ka::timed_launch(be, desc, [=](ka::WorkGroupCtx& wg) {
     auto Ri = wg.priv<CT>(static_cast<std::size_t>(seg));
@@ -144,11 +152,29 @@ void tsqrt(ka::Backend& be, MatrixView<T> W, index_t row0, index_t k,
           auto b = Bi(t);
           if (i == kk) {
             if (s == 0) tauv[kk] = tau;
-            for (int rr = 0; rr < seg; ++rr) {
-              b[rr] = negligible ? CT(0) : b[rr] / x;  // store tails
+            if (negligible) {
+              for (int rr = 0; rr < seg; ++rr) b[rr] = CT(0);
+            } else {
+#if UNISVD_SIMD_COMPILED
+              if (use_simd) {
+                ka::simd::div_inplace(b.data(), x, seg);  // store tails
+              } else
+#endif
+              {
+                for (int rr = 0; rr < seg; ++rr) b[rr] /= x;  // store tails
+              }
             }
           } else if (!negligible) {
-            for (int rr = 0; rr < seg; ++rr) b[rr] -= rho2 * (Bk[r0 + rr] / x);
+#if UNISVD_SIMD_COMPILED
+            if (use_simd) {
+              ka::simd::sub_scaled_div(b.data(), Bk.data() + r0, rho2, x, seg);
+            } else
+#endif
+            {
+              for (int rr = 0; rr < seg; ++rr) {
+                b[rr] -= rho2 * (Bk[r0 + rr] / x);
+              }
+            }
           }
           if (s == owner) Ri(t)[kk - r0] = rowk[i] - rho2;
         });

@@ -21,9 +21,13 @@
 /// computes — is X_i[k] -= rho; X_i[k+1:] -= rho * A_k[k+1:]. We implement
 /// the correct form.
 
+#include <algorithm>
+#include <type_traits>
+
 #include "common/matrix.hpp"
 #include "common/precision.hpp"
 #include "ka/backend.hpp"
+#include "ka/simd/simd.hpp"
 #include "ka/stage_times.hpp"
 #include "qr/kernel_config.hpp"
 
@@ -64,6 +68,114 @@ void unmqr_impl(ka::Backend& be, MatrixView<TS> V, MatrixView<TS> Tau,
   desc.cost.bytes_read = cost::unmqr_bytes_r(ts, ncols, wgs, sizeof(TA), sizeof(TS));
   desc.cost.bytes_written = cost::unmqr_bytes_w(ts, ncols, sizeof(TA));
   desc.cost.serial_iterations = 2.0 * ts;
+
+#if UNISVD_SIMD_COMPILED
+  // Vector body: lanes run ACROSS columns (one lane = one work-item of the
+  // reference body). Columns are processed in chunks of NB vectors (NB*L
+  // columns) staged transposed into a ts x NB*L scratch whose row stride is
+  // the chunk width, so every load/store in the reflector loop is a
+  // contiguous walk of an L1-resident buffer. NB independent accumulator
+  // chains per reduction hide the FP-add latency that a single chain would
+  // serialize on (consecutive reflector steps depend on each other, so ILP
+  // must come from within a step). Per lane the operation sequence — load,
+  // sequential reduction over r, scale, rank-1 update, store — is exactly
+  // the scalar work-item's, so results are bit-identical (pad lanes are
+  // zero-filled and never stored). The LaunchDesc is shared with the scalar
+  // body: trace streams stay equal across backends.
+  if (be.vectorized()) {
+    namespace sd = ka::simd;
+    constexpr int L = sd::lanes_v<CT>;
+    const int nblk = sd::padded_to_lanes<CT>(cpb) / L;
+    ka::timed_launch(be, desc, [=](ka::WorkGroupCtx& wg) {
+      auto Akbuf = wg.local<CT>(static_cast<std::size_t>(ts));
+      auto Tk = wg.local<CT>(static_cast<std::size_t>(ts));
+      const index_t cg0 = col0 + wg.group_id() * cpb;
+      const int nc = static_cast<int>(std::min<index_t>(cpb, colend - cg0));
+
+      for (int idx = 0; idx < ts; ++idx) {
+        Tk[idx] = static_cast<CT>(Tau.at(row0, idx));
+      }
+
+      const auto chunk = [&](auto nbc, int j0) {
+        constexpr int NB = decltype(nbc)::value;
+        constexpr int W = NB * L;  // chunk width == staging row stride
+        auto Xc = wg.local<CT>(static_cast<std::size_t>(ts) * W);
+        const int ncb = std::clamp(nc - j0, 0, W);
+        if (ncb == 0) return;
+        for (int r = 0; r < ts; ++r) {
+          CT* row = Xc.data() + static_cast<std::size_t>(r) * W;
+          for (int j = 0; j < ncb; ++j) {
+            row[j] = static_cast<CT>(C.at(rbase + r, cg0 + j0 + j));
+          }
+          for (int j = ncb; j < W; ++j) row[j] = CT(0);
+        }
+
+        for (int step = 0; step + 1 < ts; ++step) {
+          const int kk = dir == ApplyDir::Forward ? step : ts - 2 - step;
+          // Reflector column kk is contiguous in a plain column-major view,
+          // so point straight at it when no precision cast is needed either.
+          // Transposed views (the LQ sweep of band_reduction) and casting
+          // storage types stage through Akbuf element-wise instead.
+          const CT* Ak = Akbuf.data();
+          bool direct = false;
+          if constexpr (std::is_same_v<TS, CT>) direct = !V.is_transposed();
+          if (direct) {
+            if constexpr (std::is_same_v<TS, CT>) {
+              Ak = &V.at(rbase, cbase + kk);
+            }
+          } else {
+            for (int idx = kk + 1; idx < ts; ++idx) {
+              Akbuf[idx] = static_cast<CT>(V.at(rbase + idx, cbase + kk));
+            }
+          }
+          const sd::vec_t<CT> tkk = sd::broadcast(Tk[kk]);
+          CT* Xkk = Xc.data() + static_cast<std::size_t>(kk) * W;
+          sd::vec_t<CT> rho[NB];
+          for (int b = 0; b < NB; ++b) rho[b] = sd::load<CT>(Xkk + b * L);
+          for (int r = kk + 1; r < ts; ++r) {
+            const sd::vec_t<CT> akr = sd::broadcast(Ak[r]);
+            const CT* Xr = Xc.data() + static_cast<std::size_t>(r) * W;
+            for (int b = 0; b < NB; ++b) {
+              rho[b] += sd::load<CT>(Xr + b * L) * akr;
+            }
+          }
+          for (int b = 0; b < NB; ++b) {
+            rho[b] *= tkk;
+            sd::store(Xkk + b * L, sd::load<CT>(Xkk + b * L) - rho[b]);
+          }
+          for (int r = kk + 1; r < ts; ++r) {
+            const sd::vec_t<CT> akr = sd::broadcast(Ak[r]);
+            CT* Xr = Xc.data() + static_cast<std::size_t>(r) * W;
+            for (int b = 0; b < NB; ++b) {
+              sd::store(Xr + b * L, sd::load<CT>(Xr + b * L) - rho[b] * akr);
+            }
+          }
+        }
+
+        for (int r = 0; r < ts; ++r) {
+          const CT* row = Xc.data() + static_cast<std::size_t>(r) * W;
+          for (int j = 0; j < ncb; ++j) {
+            C.at(rbase + r, cg0 + j0 + j) = static_cast<TA>(row[j]);
+          }
+        }
+      };
+
+      int b = 0;
+      while (nblk - b >= 4) {
+        chunk(std::integral_constant<int, 4>{}, b * L);
+        b += 4;
+      }
+      if (nblk - b >= 2) {
+        chunk(std::integral_constant<int, 2>{}, b * L);
+        b += 2;
+      }
+      if (nblk - b >= 1) {
+        chunk(std::integral_constant<int, 1>{}, b * L);
+      }
+    }, times);
+    return;
+  }
+#endif  // UNISVD_SIMD_COMPILED
 
   ka::timed_launch(be, desc, [=](ka::WorkGroupCtx& wg) {
     auto Xi = wg.priv<CT>(static_cast<std::size_t>(ts));
