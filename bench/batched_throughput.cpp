@@ -138,6 +138,58 @@ void run_ragged(benchutil::JsonSink& sink, ka::Backend& backend, index_t max_n) 
   sink.record("ragged/mixed_vs_best_pure", mixed_rate / best_pure, "x");
 }
 
+/// Tiny-problem section: the fused small_svd path (one stack-resident
+/// Jacobi kernel per problem) against the tiled pipeline on the SAME
+/// batches — the dispatch SvdConfig::small_svd_threshold encodes and
+/// core::tune_small_svd_threshold learns. Returns false when the fused
+/// path misses the acceptance gate (>= `gate`x at every probed size).
+bool run_tiny(benchutil::JsonSink& sink, ka::Backend& backend, double gate) {
+  benchutil::print_header("tiny problems: fused small_svd vs pipeline — FP32 "
+                          "(backend: " + std::string(backend.name()) + ")");
+  const std::size_t batch_size = 256;
+  std::printf("%6s %6s | %12s %12s | %8s\n", "n", "batch", "fused p/s",
+              "pipeline p/s", "speedup");
+
+  bool gate_ok = true;
+  rnd::Xoshiro256 rng(1234);
+  for (const index_t n : {16, 32}) {
+    std::vector<Matrix<float>> problems;
+    std::vector<ConstMatrixView<float>> views;
+    problems.reserve(batch_size);
+    for (std::size_t p = 0; p < batch_size; ++p) {
+      problems.push_back(rnd::round_to<float>(rnd::gaussian_matrix(n, n, rng)));
+      views.push_back(problems.back().view());
+    }
+
+    const auto rate = [&](index_t threshold) {
+      BatchConfig cfg;
+      cfg.schedule = BatchSchedule::InterProblem;
+      cfg.svd.small_svd_threshold = threshold;
+      // Longer window than the throughput sections: this one backs a hard
+      // acceptance gate, so damp run-to-run noise with more repetitions.
+      const double secs = benchutil::measure_seconds(
+          [&] { (void)svd_values_batched_report<float>(views, cfg, backend); }, 1,
+          0.5);
+      return static_cast<double>(views.size()) / secs;
+    };
+    const double pipeline = rate(0);
+    const double fused = rate(n);
+    const double speedup = fused / pipeline;
+    std::printf("%6lld %6zu | %12.1f %12.1f | %7.2fx\n",
+                static_cast<long long>(n), batch_size, fused, pipeline, speedup);
+    const std::string base =
+        "tiny/fp32/n=" + std::to_string(static_cast<long long>(n));
+    sink.record(base + "/fused", fused, "problems/s");
+    sink.record(base + "/pipeline", pipeline, "problems/s");
+    sink.record(base + "/speedup", speedup, "x");
+    if (speedup < gate) gate_ok = false;
+  }
+  if (!gate_ok) {
+    std::printf("  FAILED: fused path below the %.1fx acceptance gate\n", gate);
+  }
+  return gate_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,5 +212,6 @@ int main(int argc, char** argv) {
   run_precision<float>(sink, backend, max_n);
   run_precision<Half>(sink, backend, max_n);
   run_ragged(sink, backend, max_n);
-  return sink.flush() ? 0 : 1;
+  const bool tiny_ok = run_tiny(sink, backend, 3.0);
+  return sink.flush() && tiny_ok ? 0 : 1;
 }

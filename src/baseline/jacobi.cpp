@@ -5,43 +5,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "small/jacobi_kernel.hpp"
 
 namespace unisvd::baseline {
-
-namespace {
-
-/// Rotate columns p, q of g to orthogonality. Returns true if a rotation
-/// was applied (off-diagonal above threshold).
-bool rotate_pair(Matrix<double>& g, index_t p, index_t q, double tol) {
-  const index_t n = g.rows();
-  double app = 0.0;
-  double aqq = 0.0;
-  double apq = 0.0;
-  for (index_t i = 0; i < n; ++i) {
-    const double gp = g(i, p);
-    const double gq = g(i, q);
-    app += gp * gp;
-    aqq += gq * gq;
-    apq += gp * gq;
-  }
-  const double denom = std::sqrt(app * aqq);
-  if (denom == 0.0 || std::abs(apq) <= tol * denom) return false;
-
-  const double zeta = (aqq - app) / (2.0 * apq);
-  const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
-                   (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
-  const double c = 1.0 / std::sqrt(1.0 + t * t);
-  const double s = t * c;
-  for (index_t i = 0; i < n; ++i) {
-    const double gp = g(i, p);
-    const double gq = g(i, q);
-    g(i, p) = c * gp - s * gq;
-    g(i, q) = s * gp + c * gq;
-  }
-  return true;
-}
-
-}  // namespace
 
 std::vector<double> jacobi_svdvals(ConstMatrixView<double> a, ka::ThreadPool* pool,
                                    const JacobiOptions& opts) {
@@ -52,38 +18,30 @@ std::vector<double> jacobi_svdvals(ConstMatrixView<double> a, ka::ThreadPool* po
     for (index_t i = 0; i < n; ++i) g(i, j) = a.at(i, j);
   }
 
-  // Round-robin tournament: m slots (m even, last may be a bye), m-1 rounds
-  // of m/2 disjoint pairs per sweep. Disjointness makes rounds parallel.
-  const index_t m = n + (n % 2);
-  std::vector<index_t> slot(static_cast<std::size_t>(m));
-  for (index_t i = 0; i < m; ++i) slot[static_cast<std::size_t>(i)] = i;
+  // Round-robin tournament pairing (shared with the fused tiny-problem
+  // solver, src/small/jacobi_kernel.hpp): m-1 rounds of disjoint pairs per
+  // sweep. Disjointness makes rounds parallel.
+  smallsvd::Tournament tour(n);
 
   bool converged = false;
   for (int sweep = 0; sweep < opts.max_sweeps && !converged; ++sweep) {
     std::atomic<bool> any_rotation{false};
-    for (index_t round = 0; round < m - 1; ++round) {
-      const index_t pairs = m / 2;
+    tour.reset();
+    for (index_t round = 0; round < tour.rounds(); ++round) {
       auto do_pair = [&](index_t r) {
-        const index_t i1 = slot[static_cast<std::size_t>(r)];
-        const index_t i2 = slot[static_cast<std::size_t>(m - 1 - r)];
-        if (i1 >= n || i2 >= n) return;  // bye slot
-        const index_t p = std::min(i1, i2);
-        const index_t q = std::max(i1, i2);
-        if (rotate_pair(g, p, q, opts.tol)) {
+        const auto [p, q] = tour.pair(r);
+        if (p < 0) return;  // bye slot
+        if (smallsvd::rotate_pair<double>(g.data() + p * n, g.data() + q * n, n,
+                                          nullptr, nullptr, 0, opts.tol)) {
           any_rotation.store(true, std::memory_order_relaxed);
         }
       };
       if (pool != nullptr) {
-        pool->parallel_for(pairs, do_pair);
+        pool->parallel_for(tour.pairs_per_round(), do_pair);
       } else {
-        for (index_t r = 0; r < pairs; ++r) do_pair(r);
+        for (index_t r = 0; r < tour.pairs_per_round(); ++r) do_pair(r);
       }
-      // Rotate slots 1..m-1 (slot 0 fixed): standard tournament schedule.
-      const index_t last = slot[static_cast<std::size_t>(m - 1)];
-      for (index_t i = m - 1; i > 1; --i) {
-        slot[static_cast<std::size_t>(i)] = slot[static_cast<std::size_t>(i - 1)];
-      }
-      slot[1] = last;
+      tour.advance();
     }
     converged = !any_rotation.load();
   }

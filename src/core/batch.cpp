@@ -10,6 +10,7 @@
 #include "common/half.hpp"
 #include "common/linalg_ref.hpp"
 #include "ka/thread_pool.hpp"
+#include "small/small_svd.hpp"
 
 namespace unisvd {
 
@@ -186,10 +187,22 @@ ScheduledRun run_scheduled_batch(const std::vector<index_t>& extents,
   return run;
 }
 
+/// Scheduling extents of a batch. A problem's cost class is its LARGEST
+/// dimension on the pipeline — but a problem the fused tiny path will take
+/// (min dim at or below `small_threshold`) costs like its SMALL dimension:
+/// a 200 x 16 solve is one fused Jacobi kernel, not a 200-extent pipeline
+/// run. Classifying it small keeps ragged batches straddling the threshold
+/// on the inter-problem side of the crossover where they belong.
 template <class T>
-std::vector<index_t> extents_of(std::span<const ConstMatrixView<T>> batch) {
+std::vector<index_t> extents_of(std::span<const ConstMatrixView<T>> batch,
+                                index_t small_threshold) {
   std::vector<index_t> extents(batch.size());
-  for (std::size_t p = 0; p < batch.size(); ++p) extents[p] = extent(batch[p]);
+  for (std::size_t p = 0; p < batch.size(); ++p) {
+    const auto& a = batch[p];
+    extents[p] = smallsvd::small_svd_applicable(a.rows(), a.cols(), small_threshold)
+                     ? std::min(a.rows(), a.cols())
+                     : extent(a);
+  }
   return extents;
 }
 
@@ -239,7 +252,8 @@ BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
   BatchReport rep;
   rep.reports.resize(batch.size());
   const ScheduledRun run = run_scheduled_batch(
-      extents_of<T>(batch), config, backend, [&](std::size_t p) {
+      extents_of<T>(batch, config.svd.small_svd_threshold), config, backend,
+      [&](std::size_t p) {
         solve_classified<T>(batch, p, config.svd.check_finite, config.on_error,
                             "svd_values_batched", rep.reports[p],
                             [&](const ConstMatrixView<T>& a) {
@@ -276,7 +290,8 @@ TruncBatchReport svd_truncated_batched_report(
   TruncBatchReport rep;
   rep.reports.resize(batch.size());
   const ScheduledRun run = run_scheduled_batch(
-      extents_of<T>(batch), config, backend, [&](std::size_t p) {
+      extents_of<T>(batch, trunc.svd.small_svd_threshold), config, backend,
+      [&](std::size_t p) {
         solve_classified<T>(batch, p, trunc.svd.check_finite, config.on_error,
                             "svd_truncated_batched", rep.reports[p],
                             [&](const ConstMatrixView<T>& a) {

@@ -11,6 +11,7 @@
 #include "common/linalg_ref.hpp"
 #include "qr/band_reduction.hpp"
 #include "qr/panel_qr.hpp"
+#include "small/small_svd.hpp"
 #include "tile/tile_layout.hpp"
 
 namespace unisvd {
@@ -208,6 +209,16 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
     UNISVD_REQUIRE(ref::all_finite(a), "svd_values: input contains NaN or Inf");
   }
   const bool want_vectors = config.job != SvdJob::ValuesOnly;
+
+  // Fused tiny-problem path: min(m, n) at or below the tunable threshold
+  // skips the whole tiled pipeline — one stack-resident Jacobi kernel
+  // produces values and vectors with no padding and no per-stage launches.
+  // Shape-only and ahead of the QR-first test, so every job and every
+  // caller (direct, truncated-projected, batched) dispatches identically.
+  if (smallsvd::small_svd_applicable(a.rows(), a.cols(),
+                                     config.small_svd_threshold)) {
+    return smallsvd::small_svd_solve<T>(a, config);
+  }
 
   // Operate on the tall orientation: sigma(A) == sigma(A^T), and the lazy
   // transpose makes the wide case free. For vectors the factors swap back

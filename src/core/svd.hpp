@@ -87,12 +87,24 @@ struct SvdConfig {
   /// core::kQrFirstAspectNever) to disable it; core::learn_qr_first_aspect
   /// measures and persists the crossover per backend/precision.
   double qr_first_aspect = 1.6;
+  /// Fused tiny-problem threshold: problems with min(m, n) <= this take the
+  /// stack-resident one-sided Jacobi path (src/small) — one fused kernel,
+  /// no tile padding, no per-stage launches — for every job, before the
+  /// QR-first aspect test. Values match the pipeline within the storage
+  /// precision's accuracy gates and stay bit-identical across jobs on the
+  /// fused path itself; SvdReport::small_path records the dispatch. Set 0
+  /// to force the pipeline everywhere; core::learn_small_svd_threshold
+  /// measures and persists the crossover per backend/precision.
+  index_t small_svd_threshold = 32;
 
   void validate() const {
     kernels.validate();
     UNISVD_REQUIRE(qr_first_aspect > 0.0 && qr_first_aspect == qr_first_aspect,
                    "SvdConfig: qr_first_aspect must be positive (set a huge "
                    "value to disable the QR-first path, not 0 or NaN)");
+    UNISVD_REQUIRE(small_svd_threshold >= 0,
+                   "SvdConfig: small_svd_threshold must be >= 0 (0 disables "
+                   "the fused tiny-problem path)");
   }
 };
 
@@ -135,6 +147,11 @@ struct SvdReport {
   /// ratio >= SvdConfig::qr_first_aspect): tall-panel QR, pipeline on R,
   /// U = Q * U_R composed by backward reflector replay.
   bool qr_first = false;
+  /// True when this solve took the fused tiny-problem path (min(m, n) <=
+  /// SvdConfig::small_svd_threshold): one stack-resident one-sided Jacobi
+  /// kernel, no tile padding — padded_n reports min(m, n) — and all wall
+  /// clock under ka::Stage::FusedSmall.
+  bool small_path = false;
   double scale_factor = 1.0;    ///< auto_scale divisor applied to the input
   SvdStatus status = SvdStatus::Ok;  ///< per-problem outcome (batched Isolate)
   std::string status_message;   ///< empty when Ok; human-readable reason otherwise

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <locale>
 #include <optional>
 #include <sstream>
 #include <system_error>
@@ -319,7 +320,36 @@ double TuningTable::qr_first_aspect_or(std::string_view backend, Precision p,
   return hit != nullptr ? *hit : fallback;
 }
 
+void TuningTable::set_small_svd_threshold(std::string_view backend, Precision p,
+                                          index_t threshold) {
+  UNISVD_REQUIRE(threshold >= 0,
+                 "TuningTable: small_svd threshold must be >= 0 (0 disables "
+                 "the fused tiny-problem path)");
+  UNISVD_REQUIRE(backend.find_first_of(" \t\n#") == std::string_view::npos,
+                 "TuningTable: backend names must be free of whitespace and '#' "
+                 "(the text format's separators and comment marker)");
+  small_svd_thresholds_[Key{std::string(backend), p}] = threshold;
+}
+
+std::optional<index_t> TuningTable::small_svd_threshold(std::string_view backend,
+                                                        Precision p) const {
+  const auto it = small_svd_thresholds_.find(Key{std::string(backend), p});
+  if (it == small_svd_thresholds_.end()) return std::nullopt;
+  return it->second;
+}
+
+index_t TuningTable::small_svd_threshold_or(std::string_view backend, Precision p,
+                                            index_t fallback) const {
+  const index_t* hit = lookup(small_svd_thresholds_, backend, p);
+  return hit != nullptr ? *hit : fallback;
+}
+
 void TuningTable::write(std::ostream& os) const {
+  // The text format is locale-independent by contract: a process that set a
+  // global locale with ',' decimal points (or digit grouping on integers)
+  // must not corrupt the table it saves. Pin the classic "C" locale for the
+  // whole write and restore the caller's on exit.
+  const std::locale caller_locale = os.imbue(std::locale::classic());
   os << "# unisvd tuning table v1\n";
   for (const auto& [key, crossover] : crossovers_) {
     os << "crossover " << key.first << ' ' << to_string(key.second) << ' '
@@ -344,6 +374,11 @@ void TuningTable::write(std::ostream& os) const {
        << aspect << '\n';
   }
   os.precision(old_precision);
+  for (const auto& [key, threshold] : small_svd_thresholds_) {
+    os << "small_svd " << key.first << ' ' << to_string(key.second) << ' '
+       << threshold << '\n';
+  }
+  os.imbue(caller_locale);
 }
 
 TuningTable TuningTable::read(std::istream& is, std::size_t* malformed_lines) {
@@ -355,7 +390,7 @@ TuningTable TuningTable::read(std::istream& is, std::size_t* malformed_lines) {
   // token itself). Genuinely unknown directives pass silently so newer
   // tables still load on older code.
   const auto known = [](const std::string& d) {
-    for (const char* full : {"crossover", "kernels", "rsvd", "qr_first"}) {
+    for (const char* full : {"crossover", "kernels", "rsvd", "qr_first", "small_svd"}) {
       const std::string_view f(full);
       if (d == f || (!d.empty() && d.size() < f.size() &&
                      f.substr(0, d.size()) == d)) {
@@ -369,6 +404,11 @@ TuningTable TuningTable::read(std::istream& is, std::size_t* malformed_lines) {
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
+    // Parse under the classic "C" locale whatever the process global is:
+    // `>> double` in a de_DE-style locale would stop at the '.' of "1.5"
+    // and silently load aspect 1 (and grouping locales can mangle the
+    // integer fields). Mirrors the imbue in write().
+    ls.imbue(std::locale::classic());
     std::string directive;
     if (!(ls >> directive)) continue;  // blank line
     std::string backend;
@@ -416,6 +456,13 @@ TuningTable TuningTable::read(std::istream& is, std::size_t* malformed_lines) {
         continue;
       }
       table.qr_first_aspects_[Key{backend, *p}] = aspect;
+    } else if (directive == "small_svd") {
+      index_t threshold = -1;
+      if (!(ls >> threshold) || threshold < 0) {
+        ++malformed;
+        continue;
+      }
+      table.small_svd_thresholds_[Key{backend, *p}] = threshold;
     } else if (known(directive)) {
       ++malformed;  // torn prefix of a known directive, args intact
     }
@@ -499,6 +546,8 @@ BatchConfig tuned_batch_config(const TuningTable& table, const ka::Backend& back
   base.svd.kernels = table.kernels_or(backend.name(), p, base.svd.kernels);
   base.svd.qr_first_aspect =
       table.qr_first_aspect_or(backend.name(), p, base.svd.qr_first_aspect);
+  base.svd.small_svd_threshold = table.small_svd_threshold_or(
+      backend.name(), p, base.svd.small_svd_threshold);
   return base;
 }
 
@@ -600,6 +649,91 @@ template double learn_qr_first_aspect<float>(TuningTable&, ka::Backend&, index_t
 template double learn_qr_first_aspect<double>(TuningTable&, ka::Backend&, index_t,
                                               std::vector<double>, int,
                                               const SvdConfig&, std::uint64_t);
+
+template <class T>
+SmallSvdThresholdResult tune_small_svd_threshold(ka::Backend& backend,
+                                                 std::vector<index_t> sizes,
+                                                 int repeats,
+                                                 const SvdConfig& config,
+                                                 std::uint64_t seed) {
+  UNISVD_REQUIRE(backend.executes(),
+                 "tune_small_svd_threshold: backend must execute kernels");
+  UNISVD_REQUIRE(repeats >= 1, "tune_small_svd_threshold: repeats must be positive");
+  if (sizes.empty()) sizes = {8, 16, 24, 32, 48, 64};
+  for (const index_t n : sizes) {
+    UNISVD_REQUIRE(n >= 1, "tune_small_svd_threshold: probed sizes must be positive");
+  }
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+
+  rnd::Xoshiro256 rng(seed);
+  SmallSvdThresholdResult result;
+  // Prefix-win, like tune_batch_crossover: the threshold only extends while
+  // the fused path wins at every probed size from the smallest up, so a
+  // noisy fused win above a real pipeline win cannot drag intermediate
+  // sizes into the fused regime.
+  bool fused_prefix = true;
+  for (const index_t n : sizes) {
+    const Matrix<T> probe = rnd::round_to<T>(rnd::gaussian_matrix(n, n, rng));
+
+    const auto run = [&](index_t threshold) {
+      SvdConfig cfg = config;
+      cfg.job = SvdJob::Thin;
+      cfg.small_svd_threshold = threshold;
+      double best = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < repeats; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)svd_values_report<T>(probe.view(), cfg, backend);
+        best = std::min(
+            best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                      .count());
+      }
+      return best;
+    };
+
+    SmallSvdSample sample;
+    sample.n = n;
+    // Untimed warmup (pool wake-up, first-touch), same protocol as the
+    // qr_first and batch-crossover tuners.
+    (void)run(0);
+    sample.pipeline_seconds = run(0);  // fused path disabled
+    sample.fused_seconds = run(n);     // fused path forced at this size
+    if (sample.fused_seconds <= sample.pipeline_seconds && fused_prefix) {
+      result.threshold = n;
+    } else {
+      fused_prefix = false;
+    }
+    result.samples.push_back(sample);
+  }
+  return result;
+}
+
+template SmallSvdThresholdResult tune_small_svd_threshold<Half>(
+    ka::Backend&, std::vector<index_t>, int, const SvdConfig&, std::uint64_t);
+template SmallSvdThresholdResult tune_small_svd_threshold<float>(
+    ka::Backend&, std::vector<index_t>, int, const SvdConfig&, std::uint64_t);
+template SmallSvdThresholdResult tune_small_svd_threshold<double>(
+    ka::Backend&, std::vector<index_t>, int, const SvdConfig&, std::uint64_t);
+
+template <class T>
+index_t learn_small_svd_threshold(TuningTable& table, ka::Backend& backend,
+                                  std::vector<index_t> sizes, int repeats,
+                                  const SvdConfig& config, std::uint64_t seed) {
+  const SmallSvdThresholdResult result = tune_small_svd_threshold<T>(
+      backend, std::move(sizes), repeats, config, seed);
+  table.set_small_svd_threshold(backend.name(), precision_of<T>, result.threshold);
+  return result.threshold;
+}
+
+template index_t learn_small_svd_threshold<Half>(TuningTable&, ka::Backend&,
+                                                 std::vector<index_t>, int,
+                                                 const SvdConfig&, std::uint64_t);
+template index_t learn_small_svd_threshold<float>(TuningTable&, ka::Backend&,
+                                                  std::vector<index_t>, int,
+                                                  const SvdConfig&, std::uint64_t);
+template index_t learn_small_svd_threshold<double>(TuningTable&, ka::Backend&,
+                                                   std::vector<index_t>, int,
+                                                   const SvdConfig&, std::uint64_t);
 
 template <class T>
 RsvdTuneResult tune_rsvd(ka::Backend& backend, index_t m, index_t n, index_t rank,
@@ -729,6 +863,8 @@ TruncConfig tuned_trunc_config(const TuningTable& table, const ka::Backend& back
   base.svd.kernels = table.kernels_or(backend.name(), p, base.svd.kernels);
   base.svd.qr_first_aspect =
       table.qr_first_aspect_or(backend.name(), p, base.svd.qr_first_aspect);
+  base.svd.small_svd_threshold = table.small_svd_threshold_or(
+      backend.name(), p, base.svd.small_svd_threshold);
   return base;
 }
 

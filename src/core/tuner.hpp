@@ -93,6 +93,7 @@ template <class T>
 ///   kernels <backend> <FP16|FP32|FP64> <tilesize> <colperblock> <splitk> <fused 0|1>
 ///   rsvd <backend> <FP16|FP32|FP64> <oversample> <power_iters>
 ///   qr_first <backend> <FP16|FP32|FP64> <aspect>
+///   small_svd <backend> <FP16|FP32|FP64> <threshold>
 /// Backend names must be free of whitespace and '#' — the format's
 /// separators and comment marker (every ka::Backend::name() is).
 ///
@@ -145,9 +146,20 @@ class TuningTable {
   [[nodiscard]] double qr_first_aspect_or(std::string_view backend, Precision p,
                                           double fallback) const;
 
+  /// Measured SvdConfig::small_svd_threshold of the fused tiny-problem path
+  /// (core::tune_small_svd_threshold): the largest probed min(m, n) up to
+  /// which the fused one-sided Jacobi kernel beat the tiled pipeline.
+  /// 0 records "never faster on this backend" (path disabled).
+  void set_small_svd_threshold(std::string_view backend, Precision p,
+                               index_t threshold);
+  [[nodiscard]] std::optional<index_t> small_svd_threshold(std::string_view backend,
+                                                           Precision p) const;
+  [[nodiscard]] index_t small_svd_threshold_or(std::string_view backend, Precision p,
+                                               index_t fallback) const;
+
   [[nodiscard]] std::size_t size() const noexcept {
     return crossovers_.size() + kernel_configs_.size() + rsvd_defaults_.size() +
-           qr_first_aspects_.size();
+           qr_first_aspects_.size() + small_svd_thresholds_.size();
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
@@ -179,6 +191,7 @@ class TuningTable {
   std::map<Key, qr::KernelConfig> kernel_configs_;
   std::map<Key, RsvdDefaults> rsvd_defaults_;
   std::map<Key, double> qr_first_aspects_;
+  std::map<Key, index_t> small_svd_thresholds_;
 };
 
 /// Run tune_batch_crossover and deposit the learned crossover into `table`
@@ -275,6 +288,42 @@ double learn_qr_first_aspect(TuningTable& table, ka::Backend& backend,
                              index_t n = 64, std::vector<double> aspects = {},
                              int repeats = 1, const SvdConfig& config = {},
                              std::uint64_t seed = 42);
+
+/// One probed size of the fused tiny-problem tuner.
+struct SmallSvdSample {
+  index_t n = 0;                  ///< probed square extent (min dim)
+  double fused_seconds = 0.0;     ///< Thin solve, fused path forced
+  double pipeline_seconds = 0.0;  ///< Thin solve, fused path disabled
+};
+
+struct SmallSvdThresholdResult {
+  /// Learned SvdConfig::small_svd_threshold: the largest probed n up to
+  /// which the fused path won at EVERY probed size (prefix-win, mirroring
+  /// tune_batch_crossover — a noisy fused win above a real loss does not
+  /// extend the threshold), or 0 when it lost at the smallest probe.
+  index_t threshold = 0;
+  std::vector<SmallSvdSample> samples;  ///< ascending in n
+};
+
+/// Learn the fused tiny-problem threshold for this backend and storage
+/// type: time a Thin-job solve of a random n x n matrix with the fused path
+/// forced (small_svd_threshold = n) vs disabled (0) at each probed size,
+/// best of `repeats` runs each after one untimed warmup. Empty `sizes`
+/// probes {8, 16, 24, 32, 48, 64}. The result's threshold drops into
+/// SvdConfig::small_svd_threshold (tuned_batch_config / tuned_trunc_config
+/// apply it from a table).
+template <class T>
+[[nodiscard]] SmallSvdThresholdResult tune_small_svd_threshold(
+    ka::Backend& backend, std::vector<index_t> sizes = {}, int repeats = 2,
+    const SvdConfig& config = {}, std::uint64_t seed = 42);
+
+/// Run tune_small_svd_threshold and deposit the learned threshold into
+/// `table` under the backend's name and T's precision. Returns the threshold.
+template <class T>
+index_t learn_small_svd_threshold(TuningTable& table, ka::Backend& backend,
+                                  std::vector<index_t> sizes = {}, int repeats = 2,
+                                  const SvdConfig& config = {},
+                                  std::uint64_t seed = 42);
 
 /// TruncConfig whose oversample/power_iters come from the table's measured
 /// rsvd defaults (exact backend/precision match, then nearest precision,

@@ -31,6 +31,9 @@ enum class Stage {
                         ///< factor composition/unpadding
   RandomizedSketch,     ///< randomized truncated SVD (src/rsvd): Gaussian
                         ///< sketch GEMM launches (Y = A * Omega)
+  FusedSmall,           ///< fused tiny-problem path (src/small): the whole
+                        ///< one-sided Jacobi SVD — values and vectors — in
+                        ///< one stack-resident kernel, no per-stage launches
   kCount                ///< number of stages (StageTimes storage extent)
 };
 
@@ -42,6 +45,7 @@ enum class Stage {
     case Stage::BidiagonalToDiagonal: return "bidiag2diag";
     case Stage::VectorAccumulation: return "vector-acc";
     case Stage::RandomizedSketch: return "sketch";
+    case Stage::FusedSmall: return "fused-small";
     case Stage::kCount: break;
   }
   return "?";

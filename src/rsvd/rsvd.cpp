@@ -45,27 +45,31 @@
 #include "rsvd/gemm.hpp"
 #include "qr/panel_qr.hpp"
 #include "rsvd/sketch.hpp"
+#include "small/small_svd.hpp"
 #include "tile/tile_layout.hpp"
 
 namespace unisvd {
 
 namespace {
 
-/// Zero-padded compute-precision copy of `src`, divided by `scale`:
-/// the accumulator seed that turns panel_qr_factor into B = Q^T (A/scale).
+/// Refill `dst` (already shaped to the padded extents) with a zero-padded
+/// compute-precision copy of `src`, divided by `scale`: the accumulator seed
+/// that turns panel_qr_factor into B = Q^T (A/scale). Writing into a
+/// caller-owned RESIDENT buffer — instead of returning a fresh Matrix per
+/// half-step — is what keeps the power iteration's peak accumulator
+/// footprint at ONE (m_pad x n_pad) block (see range_finder).
 template <class T>
-Matrix<compute_t<T>> padded_scaled_copy(ConstMatrixView<T> src, index_t rows,
-                                        index_t cols, double scale) {
+void fill_padded_scaled(ConstMatrixView<T> src, double scale,
+                        Matrix<compute_t<T>>& dst) {
   using CT = compute_t<T>;
-  Matrix<CT> out(rows, cols, CT(0));
+  std::fill(dst.data(), dst.data() + dst.size(), CT(0));
   const auto s = static_cast<CT>(scale);
   for (index_t j = 0; j < src.cols(); ++j) {
     for (index_t i = 0; i < src.rows(); ++i) {
       const auto v = static_cast<CT>(src.at(i, j));
-      out(i, j) = scale == 1.0 ? v : v / s;
+      dst(i, j) = scale == 1.0 ? v : v / s;
     }
   }
-  return out;
 }
 
 /// One full sketch -> power-iterate pass at sketch width l_pad. On return
@@ -95,10 +99,19 @@ void range_finder(ka::Backend& be, ConstMatrixView<T> at, double scale,
                   ts, T(0));
   Matrix<T> z;  // the A^T-side panel of each power iteration
 
+  // ONE resident accumulator serves both orientations of every half-step:
+  // the (mpad x npad) buffer is reshaped (same element count, no data
+  // movement) to (npad x mpad) for the A^T side and refilled in place.
+  // The old scheme built a fresh padded copy per half-step, holding TWO
+  // accumulator-sized blocks live across the Z factorization — double the
+  // peak footprint and allocator traffic, asserted away by the
+  // matrix_peak_bytes regression test.
+  acc = Matrix<CT>(mpad, npad);
   for (int iter = 0;; ++iter) {
-    // Factor Y; the accumulator hook turns a padded copy of A into
+    // Factor Y; the accumulator hook turns the padded copy of A into
     // B_full = Q_full^T (A/scale) in the same pass.
-    acc = padded_scaled_copy<T>(at, mpad, npad, scale);
+    if (acc.rows() != mpad) acc.reshape(mpad, npad);
+    fill_padded_scaled<T>(at, scale, acc);
     MatrixView<CT> acc_view = acc.view();
     qr::panel_qr_factor<T>(be, y.view(), tau.view(), cfg, times, &acc_view);
     if (iter == power_iters) break;
@@ -110,17 +123,19 @@ void range_finder(ka::Backend& be, ConstMatrixView<T> at, double scale,
         z(i, j) = narrow_from_double<T>(static_cast<double>(acc(j, i)));
       }
     }
-    // Factor Z against A^T: acc2 = W_full^T (A^T/scale).
-    Matrix<CT> acc2 =
-        padded_scaled_copy<T>(at.transposed(), npad, mpad, scale);
-    MatrixView<CT> acc2_view = acc2.view();
-    qr::panel_qr_factor<T>(be, z.view(), tau.view(), cfg, times, &acc2_view);
+    // Factor Z against A^T: the SAME buffer, reshaped and refilled, becomes
+    // W_full^T (A^T/scale).
+    acc.reshape(npad, mpad);
+    fill_padded_scaled<T>(at.transposed(), scale, acc);
+    MatrixView<CT> acc_t_view = acc.view();
+    qr::panel_qr_factor<T>(be, z.view(), tau.view(), cfg, times, &acc_t_view);
 
-    // Y = (W^T A^T)^T = A W : the top l_pad rows of acc2, transposed.
+    // Y = (W^T A^T)^T = A W : the top l_pad rows of the reshaped acc,
+    // transposed.
     y = Matrix<T>(mpad, lpad, T(0));
     for (index_t j = 0; j < lpad; ++j) {
       for (index_t i = 0; i < m; ++i) {
-        y(i, j) = narrow_from_double<T>(static_cast<double>(acc2(j, i)));
+        y(i, j) = narrow_from_double<T>(static_cast<double>(acc(j, i)));
       }
     }
   }
@@ -157,7 +172,11 @@ TruncReport dense_fallback(ConstMatrixView<T> a, const TruncConfig& config,
         break;
       }
     }
-    k = std::max<index_t>(1, std::min(kt, k));
+    // kt == 0 means sigma_1 itself sits at or below the cut — for tol < 1
+    // only a zero matrix can do that — and the defined numerical rank is 0:
+    // empty values and 0-column factors, NOT a clamped rank-1 answer built
+    // from a zero (or pure-noise) singular triplet.
+    k = std::min(kt, k);
   }
   rep.rank = k;
   rep.sketch_cols = 0;
@@ -204,6 +223,13 @@ TruncReport svd_truncated_report(ConstMatrixView<T> a, const TruncConfig& config
       adaptive ? (config.max_rank > 0 ? std::min(config.max_rank, minmn) : minmn)
                : minmn;
   index_t rank = std::min(config.rank > 0 ? config.rank : index_t{8}, max_rank);
+
+  // Tiny problems the fused small_svd path will solve in one shot: sketching
+  // them buys nothing (the dense "fallback" IS the fused kernel here), so go
+  // straight to it. adaptive_rounds stays 0 — no sketch ever ran.
+  if (smallsvd::small_svd_applicable(m, n, config.svd.small_svd_threshold)) {
+    return dense_fallback<T>(a, config, adaptive ? max_rank : rank, backend);
+  }
 
   const int ts = config.svd.kernels.tilesize;
   const index_t npad = tile::TileLayout::make(n, ts).n;
@@ -258,7 +284,11 @@ TruncReport svd_truncated_report(ConstMatrixView<T> a, const TruncConfig& config
       index_t kt = -1;
       for (index_t i = 0; i + 1 < static_cast<index_t>(small.values.size()); ++i) {
         if (small.values[static_cast<std::size_t>(i)] <= cut) {
-          kt = std::max<index_t>(1, i);
+          // i == 0 is a genuine rank-0 detection (sigma~_1 <= tol *
+          // sigma~_1 means sigma~_1 == 0 for tol < 1: a zero matrix). The
+          // old max(1, i) clamp silently promoted it to rank 1, returning
+          // one zero-valued triplet instead of the empty factorization.
+          kt = i;
           break;
         }
       }
@@ -273,6 +303,22 @@ TruncReport svd_truncated_report(ConstMatrixView<T> a, const TruncConfig& config
         continue;  // grow the sketch (Gaussian prefix is reused)
       }
       k = std::min(kt, max_rank);
+      if (k == 0) {
+        // Numerical rank 0 (only a zero matrix reaches here for tol < 1):
+        // skip the compose entirely and return the empty factorization with
+        // 0-column factors of the CORRECT outer extents.
+        rep.rank = 0;
+        rep.sketch_cols = l;
+        rep.power_iters = config.power_iters;
+        rep.adaptive_rounds = round + 1;
+        rep.scale_factor = scale;
+        rep.sigma_tail =
+            small.values.empty() ? 0.0 : small.values[0] * scale;
+        rep.values.clear();
+        rep.u = Matrix<double>(a.rows(), 0);
+        rep.vt = Matrix<double>(0, a.cols());
+        return rep;
+      }
     }
 
     // Compose: vt from the small problem directly; U = Q * U~[:, :k] by

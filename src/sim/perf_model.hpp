@@ -46,8 +46,10 @@ struct SimBreakdown {
       case ka::Stage::BidiagonalToDiagonal: bidiag2diag += t; break;
       case ka::Stage::VectorAccumulation: vector_acc += t; break;
       // The dense pipeline never emits sketch launches; the randomized
-      // pipeline (src/rsvd) is not simulated on device models yet.
+      // pipeline (src/rsvd) and the fused tiny-problem path (src/small)
+      // are not simulated on device models yet.
       case ka::Stage::RandomizedSketch: break;
+      case ka::Stage::FusedSmall: break;
       case ka::Stage::kCount: break;
     }
   }

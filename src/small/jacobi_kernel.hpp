@@ -1,0 +1,192 @@
+#pragma once
+/// \file jacobi_kernel.hpp
+/// Shared one-sided Jacobi machinery: the plane-rotation math and the
+/// round-robin tournament pairing, generalized over element type.
+///
+/// Two consumers ride these primitives:
+///
+///   * baseline/jacobi.cpp — the values-only high-accuracy oracle (double,
+///     optionally parallel rounds), and
+///   * small/small_svd.cpp — the fused tiny-problem solver (compute
+///     precision, serial, values AND vectors in one pass).
+///
+/// The Gram accumulation and the rotation coefficients always run in
+/// double whatever the column element type: the cost is negligible at the
+/// column lengths involved and it keeps the float path's convergence
+/// identical in structure to the double oracle's.
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace unisvd::smallsvd {
+
+/// 2x2 Gram measures of a column pair: app = ||g_p||^2, aqq = ||g_q||^2,
+/// apq = <g_p, g_q>, accumulated in double.
+struct PairGram {
+  double app = 0.0;
+  double aqq = 0.0;
+  double apq = 0.0;
+};
+
+template <class CT>
+[[nodiscard]] inline PairGram column_gram(const CT* gp, const CT* gq,
+                                          index_t m) noexcept {
+  PairGram g;
+  for (index_t i = 0; i < m; ++i) {
+    const double a = static_cast<double>(gp[i]);
+    const double b = static_cast<double>(gq[i]);
+    g.app += a * a;
+    g.aqq += b * b;
+    g.apq += a * b;
+  }
+  return g;
+}
+
+/// Rotation (c, s) diagonalizing the 2x2 Gram block [[app, apq], [apq, aqq]]
+/// (Rutishauser's stable formulation). False when the pair is already
+/// orthogonal within `tol` relative to the column norms — including any
+/// exactly-zero column, whose rotation would be undefined.
+[[nodiscard]] inline bool jacobi_rotation(const PairGram& g, double tol,
+                                          double& c, double& s) noexcept {
+  const double denom = std::sqrt(g.app * g.aqq);
+  if (denom == 0.0 || std::abs(g.apq) <= tol * denom) return false;
+  const double zeta = (g.aqq - g.app) / (2.0 * g.apq);
+  const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+  c = 1.0 / std::sqrt(1.0 + t * t);
+  s = t * c;
+  return true;
+}
+
+/// Apply the rotation to a column pair: [g_p g_q] <- [g_p g_q]·[[c, s], [-s, c]],
+/// in CT arithmetic (the columns round to CT either way, and CT-wide lanes
+/// are what makes the fused float path vectorize; the double oracle passes
+/// CT = double and keeps full-precision updates).
+template <class CT>
+inline void apply_rotation(CT* gp, CT* gq, index_t m, double c,
+                           double s) noexcept {
+  const CT cc = static_cast<CT>(c);
+  const CT sc = static_cast<CT>(s);
+  for (index_t i = 0; i < m; ++i) {
+    const CT a = gp[i];
+    const CT b = gq[i];
+    gp[i] = cc * a - sc * b;
+    gq[i] = sc * a + cc * b;
+  }
+}
+
+/// <x, y> accumulated in double over four independent partial sums: the
+/// single-chain version is LATENCY-bound (every add waits on the previous
+/// one), and this reassociation is what lets the fused kernel's hot loop
+/// pipeline/vectorize. Deterministic — the summation order is fixed.
+template <class CT>
+[[nodiscard]] inline double dot_columns(const CT* x, const CT* y,
+                                        index_t m) noexcept {
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double s3 = 0.0;
+  index_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    s0 += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    s1 += static_cast<double>(x[i + 1]) * static_cast<double>(y[i + 1]);
+    s2 += static_cast<double>(x[i + 2]) * static_cast<double>(y[i + 2]);
+    s3 += static_cast<double>(x[i + 3]) * static_cast<double>(y[i + 3]);
+  }
+  for (; i < m; ++i) s0 += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// ||x||^2 via dot_columns' four-chain accumulation.
+template <class CT>
+[[nodiscard]] inline double norm_sq_column(const CT* x, index_t m) noexcept {
+  return dot_columns(x, x, m);
+}
+
+/// Orthogonalize one column pair of G (length m), mirroring the rotation
+/// into the V accumulator columns (length nv) when vp is non-null — that is
+/// how V = J_1·J_2·... accumulates, giving A = U·Sigma·V^T at convergence.
+/// Returns true when a rotation was applied (off-diagonal above `tol`).
+template <class CT>
+inline bool rotate_pair(CT* gp, CT* gq, index_t m, CT* vp, CT* vq, index_t nv,
+                        double tol) noexcept {
+  double c = 1.0;
+  double s = 0.0;
+  if (!jacobi_rotation(column_gram(gp, gq, m), tol, c, s)) return false;
+  apply_rotation(gp, gq, m, c, s);
+  if (vp != nullptr) apply_rotation(vp, vq, nv, c, s);
+  return true;
+}
+
+/// Cached-norm variant for the fused tiny solver: the caller maintains
+/// ||g_p||^2 and ||g_q||^2 across the sweep (refreshing them once per sweep
+/// kills rounding drift), so each pair probe costs ONE cross dot product
+/// instead of the full three-measure Gram pass. On rotation the norms are
+/// updated in closed form — the rotation diagonalizes the 2x2 Gram block,
+/// so the new norms are its eigenvalue-shifted diagonal.
+template <class CT>
+inline bool rotate_pair_cached(CT* gp, CT* gq, index_t m, double& app,
+                               double& aqq, CT* vp, CT* vq, index_t nv,
+                               double tol) noexcept {
+  PairGram g;
+  g.app = app;
+  g.aqq = aqq;
+  g.apq = dot_columns(gp, gq, m);
+  double c = 1.0;
+  double s = 0.0;
+  if (!jacobi_rotation(g, tol, c, s)) return false;
+  apply_rotation(gp, gq, m, c, s);
+  if (vp != nullptr) apply_rotation(vp, vq, nv, c, s);
+  app = c * c * g.app - 2.0 * c * s * g.apq + s * s * g.aqq;
+  aqq = s * s * g.app + 2.0 * c * s * g.apq + c * c * g.aqq;
+  return true;
+}
+
+/// Round-robin tournament pairing over n columns: m = n + n%2 slots, m-1
+/// rounds of m/2 DISJOINT pairs per sweep (disjointness is what lets the
+/// baseline oracle rotate a round's pairs in parallel), every (p, q) pair
+/// visited exactly once per sweep. Slot 0 stays fixed while slots 1..m-1
+/// rotate between rounds — the standard schedule.
+class Tournament {
+ public:
+  explicit Tournament(index_t n)
+      : n_(n), m_(n + (n % 2)), slot_(static_cast<std::size_t>(m_)) {
+    reset();
+  }
+
+  [[nodiscard]] index_t rounds() const noexcept { return m_ - 1; }
+  [[nodiscard]] index_t pairs_per_round() const noexcept { return m_ / 2; }
+
+  /// Pair r of the current round as (p, q) with p < q, or (-1, -1) when one
+  /// side is the bye slot of an odd column count.
+  [[nodiscard]] std::pair<index_t, index_t> pair(index_t r) const noexcept {
+    const index_t i1 = slot_[static_cast<std::size_t>(r)];
+    const index_t i2 = slot_[static_cast<std::size_t>(m_ - 1 - r)];
+    if (i1 >= n_ || i2 >= n_) return {index_t{-1}, index_t{-1}};
+    return {std::min(i1, i2), std::max(i1, i2)};
+  }
+
+  /// Rotate slots 1..m-1 (slot 0 fixed) to the next round's pairing.
+  void advance() noexcept {
+    const index_t last = slot_[static_cast<std::size_t>(m_ - 1)];
+    for (index_t i = m_ - 1; i > 1; --i) {
+      slot_[static_cast<std::size_t>(i)] = slot_[static_cast<std::size_t>(i - 1)];
+    }
+    slot_[1] = last;
+  }
+
+  /// Back to the first round's pairing (start of a sweep).
+  void reset() noexcept {
+    for (index_t i = 0; i < m_; ++i) slot_[static_cast<std::size_t>(i)] = i;
+  }
+
+ private:
+  index_t n_;
+  index_t m_;
+  std::vector<index_t> slot_;
+};
+
+}  // namespace unisvd::smallsvd

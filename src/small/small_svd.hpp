@@ -1,0 +1,47 @@
+#pragma once
+/// \file small_svd.hpp
+/// Fused tiny-problem SVD: a one-shot one-sided Jacobi factorization for
+/// problems with min(m, n) at or below SvdConfig::small_svd_threshold.
+///
+/// The 3-stage tiled pipeline pays per-stage launches, tile padding to the
+/// TILESIZE grid, and square accumulator traffic that are pure overhead on
+/// sub-tile problems — the regime batched-SVD libraries win by fusing the
+/// whole factorization into one register/stack-resident kernel. This path
+/// is that kernel: the input is loaded once into compute-precision
+/// stack-first buffers at its NATIVE extent (no padding round-trip), swept
+/// to column orthogonality by plane rotations (src/small/jacobi_kernel.hpp,
+/// shared with the baseline/jacobi oracle), and the values AND Thin/Full
+/// vectors read directly off the rotated columns — no per-stage launches at
+/// all. All time books under ka::Stage::FusedSmall.
+///
+/// Dispatch lives in svd_values_report (core/svd.cpp): shape-only, before
+/// the QR-first aspect test, so every entry point — svd_values, svd,
+/// svd_truncated's projected solves, and the batched engine — inherits the
+/// path automatically. SvdReport::small_path records that it fired.
+
+#include <algorithm>
+
+#include "common/matrix.hpp"
+#include "core/svd.hpp"
+
+namespace unisvd::smallsvd {
+
+/// Shape-only dispatch predicate: true when (m, n) should take the fused
+/// path under `threshold` (SvdConfig::small_svd_threshold; <= 0 disables).
+/// Deliberately independent of the job — values stay bit-identical across
+/// ValuesOnly/Thin/Full because the path itself never lets the vector
+/// accumulator feed back into the rotations.
+[[nodiscard]] constexpr bool small_svd_applicable(index_t m, index_t n,
+                                                  index_t threshold) noexcept {
+  return threshold > 0 && m >= 1 && n >= 1 && std::min(m, n) <= threshold;
+}
+
+/// Solve a (already validated: non-empty, finite if requested) in one fused
+/// sweep sequence. Returns a fully-populated SvdReport with
+/// small_path = true, padded_n = min(m, n) (this path never pads), and all
+/// wall clock under Stage::FusedSmall.
+template <class T>
+[[nodiscard]] SvdReport small_svd_solve(ConstMatrixView<T> a,
+                                        const SvdConfig& config);
+
+}  // namespace unisvd::smallsvd

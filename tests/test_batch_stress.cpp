@@ -216,7 +216,13 @@ TEST(BatchStress, MixedSoakRepeatedRaggedRuns) {
     ASSERT_EQ(rep.reports.size(), problems.size());
     EXPECT_TRUE(rep.all_ok());
     for (std::size_t p = 0; p < problems.size(); ++p) {
-      const index_t ext = std::max(views[p].rows(), views[p].cols());
+      // Scheduling extent: max dim on the pipeline, but a problem the fused
+      // tiny path takes (min dim <= small_svd_threshold) costs like its
+      // SMALL dimension (see extents_of in core/batch.cpp).
+      const index_t mn = std::min(views[p].rows(), views[p].cols());
+      const index_t ext = mn <= cfg.svd.small_svd_threshold
+                              ? mn
+                              : std::max(views[p].rows(), views[p].cols());
       EXPECT_EQ(rep.schedules[p], ext <= cfg.crossover_n ? BatchSchedule::InterProblem
                                                          : BatchSchedule::Mixed);
     }

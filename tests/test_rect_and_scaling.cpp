@@ -23,6 +23,10 @@ SvdConfig cfg_ts(int ts) {
   SvdConfig cfg;
   cfg.kernels.tilesize = ts;
   cfg.kernels.colperblock = std::min(8, ts);
+  // This suite pins PIPELINE behavior on small shapes (e.g. the FP16
+  // overflow-without-auto_scale failure mode, which the fused path's
+  // FP32-compute kernel does not exhibit): keep the fused path off.
+  cfg.small_svd_threshold = 0;
   return cfg;
 }
 

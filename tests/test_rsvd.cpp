@@ -651,3 +651,109 @@ TEST(RsvdBatched, StorageApiShapes) {
     EXPECT_EQ(out[p].vt.cols(), views[p].cols());
   }
 }
+
+// ---------------------------------------------------------------------------
+// Rank-0 / rank-deficient behavior (adaptive clamp regression)
+// ---------------------------------------------------------------------------
+
+TEST(RsvdRankZero, AdaptiveZeroMatrixReturnsEmptyFactorization) {
+  // A zero matrix under adaptive tolerance has numerical rank 0: the sketch
+  // path must return EMPTY values and 0-column factors of the correct outer
+  // extents. The old `kt = std::max(1, i)` clamp silently promoted the
+  // detection to rank 1, handing back one zero-valued singular triplet.
+  const Matrix<float> a(96, 96, 0.0f);
+  TruncConfig cfg;
+  cfg.rank = 8;
+  cfg.oversample = 4;
+  cfg.tol = 1e-3;
+  cfg.svd.kernels.tilesize = 8;
+  cfg.svd.kernels.colperblock = 8;
+  const auto rep = svd_truncated_report<float>(a.view(), cfg);
+  EXPECT_FALSE(rep.dense_fallback);  // the sketch ran and detected rank 0
+  EXPECT_EQ(rep.adaptive_rounds, 1);
+  EXPECT_EQ(rep.rank, 0);
+  EXPECT_TRUE(rep.values.empty());
+  EXPECT_EQ(rep.u.rows(), 96);
+  EXPECT_EQ(rep.u.cols(), 0);
+  EXPECT_EQ(rep.vt.rows(), 0);
+  EXPECT_EQ(rep.vt.cols(), 96);
+  EXPECT_EQ(rep.sigma_tail, 0.0);
+}
+
+TEST(RsvdRankZero, DenseFallbackZeroMatrixReturnsEmptyFactorization) {
+  // Same contract on the dense-fallback exit (a tiny zero matrix routes
+  // through the fused small_svd path): rank 0, not a clamped rank 1.
+  const Matrix<float> a(24, 24, 0.0f);
+  TruncConfig cfg;
+  cfg.rank = 8;
+  cfg.tol = 1e-3;
+  const auto rep = svd_truncated_report<float>(a.view(), cfg);
+  EXPECT_TRUE(rep.dense_fallback);
+  EXPECT_EQ(rep.rank, 0);
+  EXPECT_TRUE(rep.values.empty());
+  EXPECT_EQ(rep.u.rows(), 24);
+  EXPECT_EQ(rep.u.cols(), 0);
+  EXPECT_EQ(rep.vt.rows(), 0);
+  EXPECT_EQ(rep.vt.cols(), 24);
+  EXPECT_EQ(rep.sigma_tail, 0.0);
+}
+
+TEST(RsvdRankZero, ExactlyRankDeficientStopsAtTheTrueRank) {
+  // An EXACTLY rank-3 matrix under a tight adaptive tolerance: the solver
+  // reports rank 3 (the fix must not under- or over-shoot nonzero ranks).
+  const index_t n = 64;
+  std::vector<double> sigma(static_cast<std::size_t>(n), 0.0);
+  sigma[0] = 1.0;
+  sigma[1] = 0.5;
+  sigma[2] = 0.25;
+  rnd::Xoshiro256 rng(4242);
+  const Matrix<double> a = rnd::rect_matrix_with_spectrum(192, n, sigma, rng);
+  TruncConfig cfg;
+  cfg.rank = 8;
+  cfg.oversample = 4;
+  cfg.tol = 1e-8;
+  cfg.power_iters = 2;
+  cfg.svd.kernels.tilesize = 8;
+  cfg.svd.kernels.colperblock = 8;
+  const auto rep = svd_truncated_report<double>(a.view(), cfg);
+  EXPECT_FALSE(rep.dense_fallback);
+  ASSERT_EQ(rep.rank, 3);
+  EXPECT_NEAR(rep.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(rep.values[2], 0.25, 1e-10);
+  EXPECT_LE(trunc_residual(a, rep), 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Power-iteration memory footprint (resident accumulator regression)
+// ---------------------------------------------------------------------------
+
+TEST(RsvdMemory, PowerIterationKeepsOneResidentAccumulator)
+{
+  // The power iteration re-projects A through a padded compute-precision
+  // accumulator every half-step. With the resident buffer (reshape +
+  // refill) exactly ONE (m_pad x n_pad) block stays live; the old fresh
+  // copy per half-step held TWO across the A^T-side factorization. The
+  // bound sits one half-accumulator above the measured resident peak, so
+  // the two-block scheme cannot pass.
+  const index_t m = 768;
+  const index_t n = 192;
+  TruncConfig cfg;
+  cfg.rank = 16;
+  cfg.oversample = 16;
+  cfg.power_iters = 2;
+  const Matrix<double> a = testutil::random_matrix(m, n, 777);
+
+  matrix_reset_peak();
+  const std::size_t before = matrix_live_bytes();
+  const auto rep = svd_truncated_report<double>(a.view(), cfg);
+  const std::size_t delta = matrix_peak_bytes() - before;
+
+  ASSERT_FALSE(rep.dense_fallback);
+  ASSERT_EQ(rep.rank, 16);
+  const std::size_t acc_bytes =
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(n) * sizeof(double);
+  std::cout << "[ rsvd peak ] delta = " << delta << " bytes, accumulator = "
+            << acc_bytes << " bytes\n";
+  EXPECT_LE(delta, 2 * acc_bytes) << "power iteration holds more than one "
+                                     "accumulator-sized block live";
+}

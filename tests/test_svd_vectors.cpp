@@ -29,6 +29,9 @@ SvdConfig vec_config(SvdJob job = SvdJob::Thin, int ts = 8) {
   cfg.kernels.tilesize = ts;
   cfg.kernels.colperblock = std::min(8, ts);
   cfg.job = job;
+  // This suite pins the PIPELINE's vector accumulation (stage timing,
+  // accumulator structure) on sub-threshold sizes: fused path off.
+  cfg.small_svd_threshold = 0;
   return cfg;
 }
 

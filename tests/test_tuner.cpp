@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <locale>
 #include <sstream>
 #include <string>
 
@@ -491,4 +492,158 @@ TEST(TuningDefaultPath, LearnPersistsToDefaultLocationCreatingDirectories) {
   EXPECT_EQ(*merged.batch_crossover("cpu", Precision::FP32), learned);
   ASSERT_TRUE(merged.batch_crossover("cpu", Precision::FP16).has_value());
   EXPECT_EQ(*merged.batch_crossover("cpu", Precision::FP16), learned16);
+}
+
+// ---------------------------------------------------------------------------
+// Fused small_svd threshold entries
+// ---------------------------------------------------------------------------
+
+TEST(TuningTable, SmallSvdThresholdRoundTripsWithFallbacks) {
+  core::TuningTable table;
+  table.set_small_svd_threshold("cpu", Precision::FP32, 48);
+  table.set_small_svd_threshold("serial", Precision::FP64, 0);  // "never faster"
+  const std::string path = temp_path("unisvd_tuning_small_svd.txt");
+  ASSERT_TRUE(table.save(path));
+
+  const auto loaded = core::TuningTable::load(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto hit = loaded.small_svd_threshold("cpu", Precision::FP32);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 48);
+  // 0 is a real entry ("path disabled"), not a missing one.
+  ASSERT_TRUE(loaded.small_svd_threshold("serial", Precision::FP64).has_value());
+  EXPECT_EQ(*loaded.small_svd_threshold("serial", Precision::FP64), 0);
+  // Nearest-precision fallback (FP16 prefers the FP32 entry) and
+  // caller-default rules match the other directives.
+  EXPECT_EQ(loaded.small_svd_threshold_or("cpu", Precision::FP16, 999), 48);
+  EXPECT_EQ(loaded.small_svd_threshold_or("gpu-sim", Precision::FP32, 999), 999);
+
+  // Invalid entries are refused up front, like every other directive.
+  EXPECT_THROW(table.set_small_svd_threshold("cpu", Precision::FP32, -1), Error);
+  EXPECT_THROW(table.set_small_svd_threshold("a b", Precision::FP32, 8), Error);
+
+  // tuned_batch_config / tuned_trunc_config drop the measured threshold
+  // into the SvdConfig the solvers consult.
+  ka::CpuBackend be(2);
+  core::TuningTable cpu_table;
+  cpu_table.set_small_svd_threshold(be.name(), Precision::FP32, 24);
+  EXPECT_EQ(core::tuned_batch_config(cpu_table, be, Precision::FP32)
+                .svd.small_svd_threshold,
+            24);
+  EXPECT_EQ(core::tuned_trunc_config(cpu_table, be, Precision::FP32)
+                .svd.small_svd_threshold,
+            24);
+}
+
+TEST(Tuner, LearnSmallSvdThresholdFeedsTable) {
+  ka::CpuBackend be(2);
+  SvdConfig cfg;
+  cfg.kernels.tilesize = 8;
+  cfg.kernels.colperblock = 8;
+  core::TuningTable table;
+  const index_t learned =
+      core::learn_small_svd_threshold<float>(table, be, {8, 16}, 1, cfg);
+  ASSERT_TRUE(table.small_svd_threshold(be.name(), Precision::FP32).has_value());
+  EXPECT_EQ(*table.small_svd_threshold(be.name(), Precision::FP32), learned);
+  // Prefix-win over the probed ladder: the learned threshold is a probed
+  // size or 0 (the fused path lost at the smallest probe).
+  EXPECT_TRUE(learned == 0 || learned == 8 || learned == 16);
+}
+
+TEST(Tuner, TuneSmallSvdThresholdReportsBothSidesPerSize) {
+  ka::CpuBackend be(2);
+  SvdConfig cfg;
+  cfg.kernels.tilesize = 8;
+  cfg.kernels.colperblock = 8;
+  const auto result = core::tune_small_svd_threshold<float>(be, {8, 16}, 1, cfg);
+  ASSERT_EQ(result.samples.size(), 2u);
+  EXPECT_EQ(result.samples[0].n, 8);
+  EXPECT_EQ(result.samples[1].n, 16);
+  for (const auto& s : result.samples) {
+    EXPECT_GT(s.fused_seconds, 0.0);
+    EXPECT_GT(s.pipeline_seconds, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Locale independence of the text format
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A numpunct facet with ',' as the decimal point and '.' as the thousands
+/// separator, grouped by 3 — the de_DE shape that breaks naive numeric I/O.
+struct CommaNumpunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// Install a comma-decimal global locale for the scope (streams default to
+/// the global locale at construction, so this poisons every stream the code
+/// under test creates without imbuing std::locale::classic()).
+class GlobalLocaleGuard {
+ public:
+  GlobalLocaleGuard()
+      : previous_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaNumpunct))) {}
+  ~GlobalLocaleGuard() { std::locale::global(previous_); }
+
+ private:
+  std::locale previous_;
+};
+
+}  // namespace
+
+TEST(TuningTable, RoundTripsUnderCommaDecimalLocale) {
+  // Under a de_DE-style global locale an un-imbued ostream renders 1.5 as
+  // "1,5" and 1024 as "1.024", and an un-imbued istream stops a double
+  // parse at the '.' — both corrupting the table. write() and read() must
+  // imbue std::locale::classic() on their own streams, so the round trip
+  // (and explicitly imbued caller streams) survive any global locale.
+  GlobalLocaleGuard guard;
+
+  core::TuningTable table;
+  table.set_batch_crossover("cpu", Precision::FP32, 1024);  // grouping bait
+  table.set_qr_first_aspect("cpu", Precision::FP32, 1.5);   // decimal bait
+  table.set_qr_first_aspect("gpu-x", Precision::FP16, 1.6180339887498949);
+  table.set_small_svd_threshold("cpu", Precision::FP32, 32);
+  qr::KernelConfig kc;
+  kc.tilesize = 16;
+  kc.colperblock = 8;
+  table.set_kernels("cpu", Precision::FP32, kc);
+
+  // Worst case: the caller's streams are THEMSELVES imbued with the comma
+  // locale; the implementation must still write/parse classic-locale text.
+  std::ostringstream os;
+  os.imbue(std::locale(std::locale::classic(), new CommaNumpunct));
+  table.write(os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.find(','), std::string::npos)
+      << "comma leaked into the table text:\n" << text;
+  EXPECT_NE(text.find("1024"), std::string::npos)
+      << "crossover was thousands-grouped:\n" << text;
+  EXPECT_NE(text.find("1.5"), std::string::npos) << text;
+
+  std::istringstream is(text);
+  is.imbue(std::locale(std::locale::classic(), new CommaNumpunct));
+  std::size_t malformed = 0;
+  const auto loaded = core::TuningTable::read(is, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  EXPECT_EQ(loaded.size(), table.size());
+  EXPECT_EQ(loaded.batch_crossover_or("cpu", Precision::FP32, 0), 1024);
+  EXPECT_DOUBLE_EQ(loaded.qr_first_aspect_or("cpu", Precision::FP32, 0.0), 1.5);
+  EXPECT_EQ(*loaded.qr_first_aspect("gpu-x", Precision::FP16),
+            1.6180339887498949);
+  EXPECT_EQ(loaded.small_svd_threshold_or("cpu", Precision::FP32, 0), 32);
+  EXPECT_EQ(loaded.kernels_or("cpu", Precision::FP32, qr::KernelConfig{}).tilesize,
+            16);
+
+  // And the file path round trip under the poisoned GLOBAL locale.
+  const std::string path = temp_path("unisvd_tuning_locale.txt");
+  ASSERT_TRUE(table.save(path));
+  const auto from_file = core::TuningTable::load(path);
+  EXPECT_EQ(from_file.size(), table.size());
+  EXPECT_EQ(from_file.batch_crossover_or("cpu", Precision::FP32, 0), 1024);
+  EXPECT_DOUBLE_EQ(from_file.qr_first_aspect_or("cpu", Precision::FP32, 0.0), 1.5);
 }
