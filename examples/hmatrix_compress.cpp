@@ -1,17 +1,20 @@
-/// Hierarchical-matrix style block compression: tile a smooth kernel matrix
-/// into tiny blocks, thin-SVD every block in batched calls, and truncate
-/// each block to the numerical rank its singular values reveal. This is the
-/// workload the fused small_svd path exists for — hundreds of thousands of
-/// 16x16 problems where per-problem pipeline overhead (tile padding,
-/// per-stage launches) would dominate the arithmetic. Every block solve
-/// should report small_path = true; the example prints the fraction as a
-/// sanity check alongside problems/sec and the achieved compression ratio.
+/// Hierarchical-matrix style block compression as a SERVING-LAYER stress
+/// client: tile a smooth kernel matrix into tiny blocks and push every
+/// block through serve::SvdService — ~10^5 asynchronous thin-SVD
+/// submissions whose solves all take the fused small_svd path. The kernel
+/// K(i, j) = 1 / (1 + |i - j| / n) is block-Toeplitz: a block depends only
+/// on its diagonal offset bi - bj, so an n/b x n/b tiling has just
+/// 2*(n/b) - 1 DISTINCT blocks. The service's content-addressed result
+/// cache discovers that equivalence on its own — the example asserts the
+/// overwhelming majority of submissions are served from cache, every block
+/// completes Ok on the fused path, and the admission counters conserve
+/// every submission.
 ///
-///   $ ./hmatrix_compress [n = 5120] [block = 16] [threads]
+///   $ ./hmatrix_compress [n = 5120] [block = 16] [workers]
 ///
-/// Defaults give (5120/16)^2 = 102400 block SVDs. ErrorPolicy::Isolate
-/// keeps one bad block (none here, but real assembly codes see them) from
-/// aborting the sweep.
+/// Defaults give (5120/16)^2 = 102400 block submissions. Exit is non-zero
+/// when any block fails, misses the fused path, the cache never hits, or a
+/// submission is lost or duplicated.
 
 #include <algorithm>
 #include <chrono>
@@ -20,7 +23,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "core/batch.hpp"
+#include "serve/svd_service.hpp"
 
 using namespace unisvd;
 
@@ -28,7 +31,8 @@ namespace {
 
 /// Smooth long-range kernel K(i, j) = 1 / (1 + |i - j| / n): blocks away
 /// from the diagonal are numerically low rank — the structure H-matrix
-/// compression exploits.
+/// compression exploits — and entries depend only on i - j, so the block
+/// grid is Toeplitz.
 Matrix<float> kernel_matrix(index_t n) {
   Matrix<float> a(n, n);
   const double inv_n = 1.0 / static_cast<double>(n);
@@ -47,33 +51,36 @@ Matrix<float> kernel_matrix(index_t n) {
 int main(int argc, char** argv) {
   const index_t n = argc > 1 ? std::atoll(argv[1]) : 5120;
   const index_t block = argc > 2 ? std::atoll(argv[2]) : 16;
-  const int threads_arg = argc > 3 ? std::atoi(argv[3]) : 0;
-  const unsigned threads = threads_arg > 0 ? static_cast<unsigned>(threads_arg) : 0;
+  const int workers_arg = argc > 3 ? std::atoi(argv[3]) : 0;
   if (n <= 0 || block <= 0 || n % block != 0) {
-    std::fprintf(stderr, "usage: %s [n] [block] [threads] with block | n\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [n] [block] [workers] with block | n\n",
+                 argv[0]);
     return 1;
   }
-  ka::CpuBackend backend(threads);
   const index_t nb = n / block;
+
+  serve::ServeConfig scfg;
+  scfg.workers = workers_arg > 0 ? static_cast<std::size_t>(workers_arg) : 2;
+  scfg.queue_capacity = 512;
+  scfg.max_wave = 64;
+  scfg.admission = serve::AdmissionPolicy::Block;
+  // Large enough to hold every distinct Toeplitz block: after the first
+  // block-row warms it, whole strips are served without a single solve.
+  scfg.cache_capacity = static_cast<std::size_t>(2 * nb - 1);
+  serve::SvdService svc(scfg);
+
   std::printf("unisvd h-matrix compression demo — %lldx%lld kernel matrix, "
-              "%lldx%lld blocks of %lldx%lld, pool of %u threads\n",
+              "%lldx%lld blocks of %lldx%lld through SvdService "
+              "(%zu workers, cache %zu)\n",
               static_cast<long long>(n), static_cast<long long>(n),
               static_cast<long long>(nb), static_cast<long long>(nb),
               static_cast<long long>(block), static_cast<long long>(block),
-              backend.pool().size());
+              static_cast<std::size_t>(scfg.workers), scfg.cache_capacity);
 
   const Matrix<float> a = kernel_matrix(n);
 
-  // Batched thin SVD over the blocks, one block-row strip per call: the
-  // views alias the big matrix directly (ld = n, no copies), and chunking
-  // bounds the live factor memory to one strip of reports. InterProblem is
-  // the right schedule for a uniform tiny batch — one problem per pool
-  // slot, the regime the fused path's dispatch extent feeds (see
-  // extents_of in core/batch.cpp).
-  BatchConfig cfg;
-  cfg.svd.job = SvdJob::Thin;
-  cfg.schedule = BatchSchedule::InterProblem;
-  cfg.on_error = ErrorPolicy::Isolate;
+  SvdConfig cfg;
+  cfg.job = SvdJob::Thin;
 
   const double rel_tol = 1e-4;  // keep sigma_k > rel_tol * sigma_1(block)
   std::size_t solved = 0;
@@ -81,20 +88,26 @@ int main(int argc, char** argv) {
   std::size_t small_path_count = 0;
   std::size_t dense_entries = 0;
   std::size_t compressed_entries = 0;
-  double wall = 0.0;
 
+  const auto t0 = std::chrono::steady_clock::now();
+  // One block-row strip at a time: submit the whole strip asynchronously
+  // (views alias the big matrix, ld = n — the service copies each block at
+  // admission, so the strip's handles are independent of `a`'s lifetime),
+  // then consume the results. In-flight handles stay bounded by nb.
+  std::vector<serve::JobHandle> strip;
+  strip.reserve(static_cast<std::size_t>(nb));
   for (index_t bi = 0; bi < nb; ++bi) {
-    std::vector<ConstMatrixView<float>> strip;
-    strip.reserve(static_cast<std::size_t>(nb));
+    strip.clear();
+    const serve::SubmitOptions opt{
+        .tenant = static_cast<std::uint32_t>(bi % 4)};
     for (index_t bj = 0; bj < nb; ++bj) {
-      strip.emplace_back(a.data() + bi * block + bj * block * n, block, block, n);
+      strip.push_back(svc.submit<float>(
+          ConstMatrixView<float>(a.data() + bi * block + bj * block * n,
+                                 block, block, n),
+          cfg, opt));
     }
-    const auto t0 = std::chrono::steady_clock::now();
-    const BatchReport rep = svd_batched_report<float>(strip, cfg, backend);
-    wall += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                .count();
-
-    for (const SvdReport& r : rep.reports) {
+    for (serve::JobHandle& h : strip) {
+      const SvdReport& r = h.report();  // waits
       ++solved;
       if (r.status != SvdStatus::Ok) {
         ++failed;
@@ -114,21 +127,45 @@ int main(int argc, char** argv) {
       compressed_entries += std::min(dense, factored);
     }
   }
+  svc.shutdown(serve::DrainMode::Drain);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const serve::ServeStats stats = svc.stats();
 
   const double rate = wall > 0.0 ? static_cast<double>(solved) / wall : 0.0;
-  std::printf("\n%zu block SVDs in %.2f s — %.0f problems/s, %zu failed\n", solved,
-              wall, rate, failed);
-  std::printf("fused small_svd path: %zu/%zu blocks (%.1f%%)\n", small_path_count,
-              solved, 100.0 * static_cast<double>(small_path_count) /
-                          static_cast<double>(solved));
-  std::printf("storage: %zu dense entries -> %zu factored (compression %.2fx at "
-              "rel tol %.0e)\n",
+  std::printf("\n%zu block submissions in %.2f s — %.0f blocks/s, %zu failed\n",
+              solved, wall, rate, failed);
+  std::printf("fused small_svd path: %zu/%zu blocks (%.1f%%)\n",
+              small_path_count, solved,
+              100.0 * static_cast<double>(small_path_count) /
+                  static_cast<double>(solved));
+  std::printf("service: %llu physical solves, %llu cache hits, %llu "
+              "coalesced (%.1f%% served without a solve)\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.coalesced),
+              100.0 *
+                  static_cast<double>(stats.cache_hits + stats.coalesced) /
+                  static_cast<double>(solved));
+  std::printf("storage: %zu dense entries -> %zu factored (compression %.2fx "
+              "at rel tol %.0e)\n",
               dense_entries, compressed_entries,
               static_cast<double>(dense_entries) /
-                  static_cast<double>(std::max<std::size_t>(compressed_entries, 1)),
+                  static_cast<double>(
+                      std::max<std::size_t>(compressed_entries, 1)),
               rel_tol);
 
-  // The whole point of the fused path is that EVERY block here takes it;
-  // treat anything else (or any failed block) as an example failure.
-  return (failed == 0 && small_path_count == solved) ? 0 : 1;
+  // The whole point of the fused path is that EVERY block takes it, and the
+  // whole point of the content-addressed cache is that the Toeplitz
+  // structure collapses 10^5 submissions onto ~2*nb distinct solves; treat
+  // anything else — or a lost/duplicated submission — as an example failure.
+  const bool conserved =
+      stats.accepted + stats.cache_hits + stats.coalesced ==
+          static_cast<std::uint64_t>(solved) &&
+      stats.completed == stats.accepted && stats.failed == 0;
+  const bool ok = failed == 0 && small_path_count == solved &&
+                  stats.cache_hits > 0 && conserved;
+  if (!ok) std::fprintf(stderr, "hmatrix_compress: acceptance gates FAILED\n");
+  return ok ? 0 : 1;
 }

@@ -21,8 +21,6 @@ namespace {
   return pool != nullptr && pool->size() > 1 && !pool->in_job();
 }
 
-[[nodiscard]] index_t extent(const auto& a) { return std::max(a.rows(), a.cols()); }
-
 /// The Auto ragged-batch heuristic (documented on BatchSchedule::Auto and
 /// BatchConfig::crossover_n): promote Auto to the Mixed work-stealing
 /// schedule when the batch mixes regimes — at least one problem above the
@@ -79,27 +77,24 @@ std::vector<BatchSchedule> resolve_schedules(const std::vector<index_t>& extents
   return schedules;
 }
 
-/// Scheduling outcome of one engine run (everything a batched report needs
-/// besides the per-problem payloads the solver callback wrote).
-struct ScheduledRun {
-  std::vector<BatchSchedule> schedules;
-  std::size_t threads_used = 0;
-  double seconds = 0.0;
-};
+}  // namespace
+
+namespace batch {
 
 /// The ONE scheduling engine behind every batched driver (dense values,
-/// dense vectors, randomized truncated): maps problems of the given extents
-/// onto the backend under `config`, invoking `solve(p)` once per problem —
-/// from pool slots (InterProblem), sequentially (IntraProblem), or inside a
-/// work-stealing job (Mixed; small problems keep their launches inline, the
-/// large problems' launches publish workgroups for idle slots, with
-/// chunked range claims — ThreadPool::ParallelForOptions). The callback
-/// owns per-problem failure handling; exceptions it lets escape abort the
-/// whole batch (the ErrorPolicy::Throw contract).
-ScheduledRun run_scheduled_batch(const std::vector<index_t>& extents,
-                                 const BatchConfig& original_config,
-                                 ka::Backend& backend,
-                                 const std::function<void(std::size_t)>& solve) {
+/// dense vectors, randomized truncated) and the serving layer's per-wave
+/// drain primitive: maps problems of the given extents onto the backend
+/// under `config`, invoking `solve(p)` once per problem — from pool slots
+/// (InterProblem), sequentially (IntraProblem), or inside a work-stealing
+/// job (Mixed; small problems keep their launches inline, the large
+/// problems' launches publish workgroups for idle slots, with chunked range
+/// claims — ThreadPool::ParallelForOptions). The callback owns per-problem
+/// failure handling; exceptions it lets escape abort the whole batch (the
+/// ErrorPolicy::Throw contract).
+DrainRun run_scheduled_batch(const std::vector<index_t>& extents,
+                             const BatchConfig& original_config,
+                             ka::Backend& backend,
+                             const std::function<void(std::size_t)>& solve) {
   // Auto on a ragged batch runs as Mixed (see auto_prefers_mixed).
   BatchConfig config = original_config;
   if (config.schedule == BatchSchedule::Auto &&
@@ -107,7 +102,7 @@ ScheduledRun run_scheduled_batch(const std::vector<index_t>& extents,
     config.schedule = BatchSchedule::Mixed;
   }
 
-  ScheduledRun run;
+  DrainRun run;
   run.schedules = resolve_schedules(extents, config, backend);
   if (extents.empty()) return run;
 
@@ -139,6 +134,7 @@ ScheduledRun run_scheduled_batch(const std::vector<index_t>& extents,
     ka::ThreadPool& pool = *backend.batch_pool();
     ka::ParallelForOptions opts;
     opts.work_stealing = true;
+    opts.busy_fallback_inline = config.pool_busy_inline;
     pool.parallel_for(
         static_cast<index_t>(order.size()),
         [&](index_t k) {
@@ -166,9 +162,12 @@ ScheduledRun run_scheduled_batch(const std::vector<index_t>& extents,
     // one thread each and never race.
     if (!inter.empty()) {
       ka::ThreadPool& pool = *backend.batch_pool();
-      pool.parallel_for(static_cast<index_t>(inter.size()), [&](index_t k) {
-        solve_into_slot(inter[static_cast<std::size_t>(k)]);
-      });
+      ka::ParallelForOptions opts;
+      opts.busy_fallback_inline = config.pool_busy_inline;
+      pool.parallel_for(
+          static_cast<index_t>(inter.size()),
+          [&](index_t k) { solve_into_slot(inter[static_cast<std::size_t>(k)]); },
+          opts);
     }
 
     // Intra-problem pass: sequential over problems, full backend per problem.
@@ -187,6 +186,18 @@ ScheduledRun run_scheduled_batch(const std::vector<index_t>& extents,
   return run;
 }
 
+index_t scheduling_extent(index_t rows, index_t cols,
+                          index_t small_svd_threshold) noexcept {
+  if (rows < 1 || cols < 1) return 1;  // fails classification, never scheduled
+  return smallsvd::small_svd_applicable(rows, cols, small_svd_threshold)
+             ? std::min(rows, cols)
+             : std::max(rows, cols);
+}
+
+}  // namespace batch
+
+namespace {
+
 /// Scheduling extents of a batch. A problem's cost class is its LARGEST
 /// dimension on the pipeline — but a problem the fused tiny path will take
 /// (min dim at or below `small_threshold`) costs like its SMALL dimension:
@@ -199,9 +210,8 @@ std::vector<index_t> extents_of(std::span<const ConstMatrixView<T>> batch,
   std::vector<index_t> extents(batch.size());
   for (std::size_t p = 0; p < batch.size(); ++p) {
     const auto& a = batch[p];
-    extents[p] = smallsvd::small_svd_applicable(a.rows(), a.cols(), small_threshold)
-                     ? std::min(a.rows(), a.cols())
-                     : extent(a);
+    extents[p] =
+        ::unisvd::batch::scheduling_extent(a.rows(), a.cols(), small_threshold);
   }
   return extents;
 }
@@ -211,10 +221,9 @@ std::vector<index_t> extents_of(std::span<const ConstMatrixView<T>> batch,
 /// exceptions, and applies the error policy. `Report` is SvdReport or
 /// TruncReport — both carry status/status_message/values.
 template <class T, class Report, class RunSolver>
-void solve_classified(std::span<const ConstMatrixView<T>> batch, std::size_t p,
+void solve_classified(const ConstMatrixView<T>& a, std::size_t p,
                       bool check_finite, ErrorPolicy on_error, const char* what,
                       Report& out, RunSolver&& run_solver) {
-  const ConstMatrixView<T>& a = batch[p];
   std::string reason;
   if (a.rows() < 1 || a.cols() < 1) {
     out.status = SvdStatus::InvalidInput;
@@ -241,6 +250,62 @@ void solve_classified(std::span<const ConstMatrixView<T>> batch, std::size_t p,
 
 }  // namespace
 
+namespace batch {
+
+template <class T>
+SvdReport solve_one_classified(ConstMatrixView<T> a, const SvdConfig& config,
+                               ka::Backend& backend, const char* what,
+                               std::size_t index) {
+  SvdReport out;
+  solve_classified<T>(a, index, config.check_finite, ErrorPolicy::Isolate, what,
+                      out, [&](const ConstMatrixView<T>& v) {
+                        SvdConfig cfg = config;
+                        cfg.check_finite = false;  // verified by the classifier
+                        return svd_values_report<T>(v, cfg, backend);
+                      });
+  return out;
+}
+
+template SvdReport solve_one_classified<Half>(ConstMatrixView<Half>,
+                                              const SvdConfig&, ka::Backend&,
+                                              const char*, std::size_t);
+template SvdReport solve_one_classified<float>(ConstMatrixView<float>,
+                                               const SvdConfig&, ka::Backend&,
+                                               const char*, std::size_t);
+template SvdReport solve_one_classified<double>(ConstMatrixView<double>,
+                                                const SvdConfig&, ka::Backend&,
+                                                const char*, std::size_t);
+
+template <class T>
+TruncReport solve_one_trunc_classified(ConstMatrixView<T> a,
+                                       const TruncConfig& config,
+                                       ka::Backend& backend, const char* what,
+                                       std::size_t index) {
+  TruncReport out;
+  solve_classified<T>(a, index, config.svd.check_finite, ErrorPolicy::Isolate,
+                      what, out, [&](const ConstMatrixView<T>& v) {
+                        TruncConfig cfg = config;
+                        cfg.svd.check_finite = false;  // verified above
+                        return svd_truncated_report<T>(v, cfg, backend);
+                      });
+  return out;
+}
+
+template TruncReport solve_one_trunc_classified<Half>(ConstMatrixView<Half>,
+                                                      const TruncConfig&,
+                                                      ka::Backend&, const char*,
+                                                      std::size_t);
+template TruncReport solve_one_trunc_classified<float>(ConstMatrixView<float>,
+                                                       const TruncConfig&,
+                                                       ka::Backend&, const char*,
+                                                       std::size_t);
+template TruncReport solve_one_trunc_classified<double>(ConstMatrixView<double>,
+                                                        const TruncConfig&,
+                                                        ka::Backend&, const char*,
+                                                        std::size_t);
+
+}  // namespace batch
+
 template <class T>
 BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
                                       const BatchConfig& config,
@@ -251,10 +316,10 @@ BatchReport svd_values_batched_report(std::span<const ConstMatrixView<T>> batch,
 
   BatchReport rep;
   rep.reports.resize(batch.size());
-  const ScheduledRun run = run_scheduled_batch(
+  const ::unisvd::batch::DrainRun run = ::unisvd::batch::run_scheduled_batch(
       extents_of<T>(batch, config.svd.small_svd_threshold), config, backend,
       [&](std::size_t p) {
-        solve_classified<T>(batch, p, config.svd.check_finite, config.on_error,
+        solve_classified<T>(batch[p], p, config.svd.check_finite, config.on_error,
                             "svd_values_batched", rep.reports[p],
                             [&](const ConstMatrixView<T>& a) {
                               SvdConfig cfg = config.svd;
@@ -289,10 +354,10 @@ TruncBatchReport svd_truncated_batched_report(
 
   TruncBatchReport rep;
   rep.reports.resize(batch.size());
-  const ScheduledRun run = run_scheduled_batch(
+  const ::unisvd::batch::DrainRun run = ::unisvd::batch::run_scheduled_batch(
       extents_of<T>(batch, trunc.svd.small_svd_threshold), config, backend,
       [&](std::size_t p) {
-        solve_classified<T>(batch, p, trunc.svd.check_finite, config.on_error,
+        solve_classified<T>(batch[p], p, trunc.svd.check_finite, config.on_error,
                             "svd_truncated_batched", rep.reports[p],
                             [&](const ConstMatrixView<T>& a) {
                               TruncConfig cfg = trunc;

@@ -44,6 +44,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -142,6 +143,14 @@ struct BatchConfig {
   /// qualify (a lone small problem gains nothing from the pool). Also the
   /// minimum small-problem count for the ragged-batch promotion above.
   std::size_t min_inter_problems = 2;
+  /// Contended-pool fallback for the engine's pool-based passes
+  /// (ka::ParallelForOptions::busy_fallback_inline): when another thread
+  /// already owns the backend pool's job slot, the batch degrades to inline
+  /// serial execution on the calling thread instead of queueing behind the
+  /// owner. Built for long-lived serving workers (serve::SvdService, which
+  /// defaults it on) that drain batches concurrently; results are identical
+  /// either way. Off preserves the historic queue-on-submit behaviour.
+  bool pool_busy_inline = false;
 
   void validate() const {
     svd.validate();
@@ -185,6 +194,73 @@ struct BatchReport {
     return n;
   }
 };
+
+// ---------------------------------------------------------------------------
+// Incremental batch draining: the scheduling engine as a public primitive
+// ---------------------------------------------------------------------------
+//
+// The batched entry points below are one-shot: a span of views in, a report
+// out. A continuously-fed system (serve::SvdService) instead drains jobs out
+// of a live queue in waves and needs the SAME engine — schedules, work
+// stealing, fault isolation — callable per drained wave without
+// materializing a span-of-views batch. `unisvd::batch` exposes exactly that
+// seam: the scheduler over an extents vector plus an opaque per-problem
+// callback, the extent classifier it keys on, and the classified
+// per-problem solvers the batched drivers themselves run.
+
+namespace batch {
+
+/// Scheduling cost class of one problem, as the batched drivers compute it:
+/// max(rows, cols) on the pipeline, but min(rows, cols) when the fused
+/// tiny-problem path will take the solve (small_svd_applicable) — a 200 x 16
+/// problem is one fused kernel, not a 200-extent pipeline run. Empty shapes
+/// class as extent 1 (they fail classification before touching a kernel).
+[[nodiscard]] index_t scheduling_extent(index_t rows, index_t cols,
+                                        index_t small_svd_threshold) noexcept;
+
+/// Scheduling outcome of one engine run (everything a batched report needs
+/// besides the per-problem payloads the solver callback wrote).
+struct DrainRun {
+  std::vector<BatchSchedule> schedules;  ///< per problem; never Auto
+  std::size_t threads_used = 0;          ///< distinct problem-solving threads
+  double seconds = 0.0;                  ///< wall clock of the run
+};
+
+/// The ONE scheduling engine behind every batched driver — and the serving
+/// layer's per-wave drain primitive. Maps problems of the given extents
+/// onto the backend under `config`, invoking `solve(p)` exactly once per
+/// problem — from pool slots (InterProblem), sequentially (IntraProblem),
+/// or inside a work-stealing job (Mixed: small problems keep their launches
+/// inline and thread-resident, large problems publish workgroups for idle
+/// slots). Auto promotes ragged extent sets to Mixed exactly as the batched
+/// drivers do. The callback owns per-problem failure handling; exceptions
+/// it lets escape abort the whole run (the ErrorPolicy::Throw contract).
+DrainRun run_scheduled_batch(const std::vector<index_t>& extents,
+                             const BatchConfig& config, ka::Backend& backend,
+                             const std::function<void(std::size_t)>& solve);
+
+/// Classified single-problem dense solve — the per-problem body of
+/// svd_values_batched_report under ErrorPolicy::Isolate, as a standalone
+/// call: validates shape and (per config.check_finite) finiteness, runs
+/// svd_values_report, and classifies any failure into the report's
+/// status/status_message instead of throwing. `what`/`index` only shape the
+/// status message. Never throws for problem-level failures.
+template <class T>
+[[nodiscard]] SvdReport solve_one_classified(ConstMatrixView<T> a,
+                                             const SvdConfig& config,
+                                             ka::Backend& backend,
+                                             const char* what = "svd_service",
+                                             std::size_t index = 0);
+
+/// Classified single-problem randomized truncated solve: the truncated
+/// counterpart of solve_one_classified (svd_truncated_report under the
+/// hood; the seed is used as given — no batch decorrelation).
+template <class T>
+[[nodiscard]] TruncReport solve_one_trunc_classified(
+    ConstMatrixView<T> a, const TruncConfig& config, ka::Backend& backend,
+    const char* what = "svd_service", std::size_t index = 0);
+
+}  // namespace batch
 
 /// Solve every problem of the batch and return full diagnostics. Under
 /// ErrorPolicy::Throw (default) the first invalid problem (empty matrix,

@@ -117,7 +117,12 @@ enum class SvdStatus {
   Ok,
   InvalidInput,   ///< empty matrix / malformed problem
   NonFinite,      ///< input contains NaN or Inf (check_finite)
-  InternalError   ///< the solver threw (bad config, convergence failure, ...)
+  InternalError,  ///< the solver threw (bad config, convergence failure, ...)
+  Rejected,       ///< never solved: refused at admission (serve::SvdService —
+                  ///< full queue under AdmissionPolicy::Reject, or a submit
+                  ///< after shutdown)
+  Cancelled       ///< never solved: cancelled while queued (serve::SvdService
+                  ///< shutdown with DrainMode::Cancel)
 };
 
 [[nodiscard]] constexpr const char* to_string(SvdStatus s) noexcept {
@@ -126,6 +131,8 @@ enum class SvdStatus {
     case SvdStatus::InvalidInput: return "invalid-input";
     case SvdStatus::NonFinite: return "non-finite";
     case SvdStatus::InternalError: return "internal-error";
+    case SvdStatus::Rejected: return "rejected";
+    case SvdStatus::Cancelled: return "cancelled";
   }
   return "?";
 }

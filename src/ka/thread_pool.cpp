@@ -21,6 +21,18 @@ thread_local bool tls_chunked_steal = false;
 /// Set by ScopedInlineNested: publication is suppressed even inside a
 /// work-stealing job (small batch problems opt out of the per-launch cost).
 thread_local bool tls_inline_nested = false;
+/// Set while a busy_fallback_inline call runs its range inline because the
+/// pool was contended: every parallel_for the inline iterations make on
+/// this thread (e.g. the kernel launches of a problem being solved) also
+/// runs inline, so the degraded run never re-blocks on the busy pool.
+thread_local bool tls_busy_inline = false;
+
+/// RAII for tls_busy_inline (nests safely — restores the previous value).
+struct BusyInlineScope {
+  bool prev = tls_busy_inline;
+  BusyInlineScope() noexcept { tls_busy_inline = true; }
+  ~BusyInlineScope() { tls_busy_inline = prev; }
+};
 }  // namespace
 
 ScopedInlineNested::ScopedInlineNested() noexcept : prev_(tls_inline_nested) {
@@ -230,6 +242,13 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn,
     }
     return;
   }
+  // Inside a busy-fallback inline run on this thread: stay inline (see
+  // ParallelForOptions::busy_fallback_inline) instead of queueing on the
+  // pool another external submitter still owns.
+  if (tls_busy_inline) {
+    for (index_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   if (n == 1 || workers_.empty()) {
     for (index_t i = 0; i < n; ++i) fn(i);
     return;
@@ -237,7 +256,18 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn,
 
   // One top-level job at a time: external threads queue here, not on the
   // job slot.
-  std::lock_guard submit_lock(submit_mutex_);
+  std::unique_lock submit_lock(submit_mutex_, std::defer_lock);
+  if (opts.busy_fallback_inline) {
+    if (!submit_lock.try_lock()) {
+      // Pool contended: degrade this call (and everything it launches on
+      // this thread) to inline serial execution instead of waiting.
+      BusyInlineScope inline_scope;
+      for (index_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+  } else {
+    submit_lock.lock();
+  }
 
   auto job = std::make_shared<Job>();
   job->fn = &fn;

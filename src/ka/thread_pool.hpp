@@ -61,6 +61,16 @@ struct ParallelForOptions {
   /// completes). Nested calls made from inside a work-stealing job publish
   /// their range for helpers; without the flag they run inline as before.
   bool work_stealing = false;
+  /// Contended-pool fallback for long-lived external submitters (the
+  /// serving layer's worker threads): when another thread already owns the
+  /// pool's top-level job slot, run the whole range inline on the calling
+  /// thread instead of queueing on the submit lock — and keep every
+  /// parallel_for the inline iterations make (kernel launches of the
+  /// problem being solved) inline too, so the degraded run never re-blocks
+  /// on the busy pool mid-problem. Results are identical either way; only
+  /// the thread mapping changes. Off (default) preserves the historic
+  /// queue-on-submit behaviour.
+  bool busy_fallback_inline = false;
   /// Steal granularity for published nested ranges: a helper claims a
   /// contiguous block of HALF the remaining iterations per visit (guided
   /// self-scheduling — successive claims halve, so the tail still load

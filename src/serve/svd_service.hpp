@@ -1,0 +1,441 @@
+#pragma once
+/// \file svd_service.hpp
+/// Asynchronous multi-tenant SVD serving layer over the batched engine.
+///
+/// The batched entry points (core/batch.hpp) are synchronous: a span of
+/// views in, a report out. A serving system instead receives independent
+/// requests over time, from concurrent clients, and must bound its memory,
+/// keep tenants from starving each other, and survive bad inputs. SvdService
+/// is that layer:
+///
+///   submit(view, config) -> JobHandle        (future-style wait/try_get)
+///
+/// Requests are copied into an owned job, admitted against a BOUNDED queue
+/// (AdmissionPolicy: block the caller, or reject with SvdStatus::Rejected),
+/// and drained in waves by persistent worker threads through the SAME
+/// scheduling engine the batched drivers use (batch::run_scheduled_batch —
+/// inter-problem slots, work stealing on ragged waves, fault isolation), so
+/// results are byte-identical to the synchronous calls. Per wave, jobs are
+/// picked ROUND-ROBIN across tenant ids (a flooding tenant cannot starve
+/// the others); within a tenant, higher priority first, then earlier
+/// deadline, then submission order.
+///
+/// Completed Ok results are cached by content: a key derived from the
+/// matrix bytes, shape, element type and the full solver configuration.
+/// The cache doubles as an in-flight coalescing map — racing identical
+/// submissions attach to the pending job's state instead of solving twice.
+/// Failures are never cached, and a bad problem only fails its own handle
+/// (the ErrorPolicy::Isolate contract: SvdStatus on the report).
+///
+/// Shutdown is graceful: DrainMode::Drain completes everything queued,
+/// DrainMode::Cancel fails queued jobs with SvdStatus::Cancelled; either
+/// way workers join and later submissions return SvdStatus::Rejected.
+///
+/// Worker threads coexist with the backend's ThreadPool via the contended-
+/// pool fallback (BatchConfig::pool_busy_inline, on by default here): a
+/// worker that finds the pool owned by another wave degrades its own wave
+/// to inline execution instead of queueing — throughput over latency, with
+/// identical results.
+///
+/// Usage:
+///   serve::SvdService svc;                       // default backend, 1 worker
+///   auto h = svc.submit<float>(a.view());
+///   const SvdReport& r = h.report();             // blocks until solved
+///
+/// Deterministic single-threaded use (tests): ServeConfig::workers = 0 and
+/// call drain_once() to process one wave on the calling thread.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/batch.hpp"
+
+namespace unisvd::serve {
+
+/// What submit() does when the bounded queue is full.
+enum class AdmissionPolicy {
+  Block,  ///< the submitting thread waits for space (backpressure); a
+          ///< shutdown while waiting rejects the job
+  Reject  ///< fail fast: the handle completes immediately with
+          ///< SvdStatus::Rejected and nothing is queued
+};
+
+[[nodiscard]] constexpr const char* to_string(AdmissionPolicy p) noexcept {
+  switch (p) {
+    case AdmissionPolicy::Block: return "block";
+    case AdmissionPolicy::Reject: return "reject";
+  }
+  return "?";
+}
+
+/// What shutdown() does with jobs still queued.
+enum class DrainMode {
+  Drain,  ///< solve everything already admitted, then stop
+  Cancel  ///< fail queued jobs with SvdStatus::Cancelled; in-flight waves
+          ///< still complete (a running solve is never interrupted)
+};
+
+[[nodiscard]] constexpr const char* to_string(DrainMode m) noexcept {
+  switch (m) {
+    case DrainMode::Drain: return "drain";
+    case DrainMode::Cancel: return "cancel";
+  }
+  return "?";
+}
+
+/// Per-submission options: who is asking and how urgently.
+struct SubmitOptions {
+  /// Tenant id. Waves are drained round-robin across tenant ids (ascending
+  /// id order, cursor persists across waves), so no tenant can starve the
+  /// rest by flooding the queue.
+  std::uint32_t tenant = 0;
+  /// Within a tenant: higher priority pops first.
+  int priority = 0;
+  /// Within a tenant and priority: earlier deadline pops first. Relative
+  /// seconds from submission (converted to an absolute instant at submit);
+  /// infinity = no deadline. Ties fall back to submission order.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Participate in the result cache / in-flight coalescing. Off bypasses
+  /// the cache entirely (no lookup, no insertion) — guarantees a private
+  /// job state, which take() can then move out of.
+  bool use_cache = true;
+};
+
+/// Service-wide configuration.
+struct ServeConfig {
+  /// Bounded queue capacity (jobs admitted but not yet drained). Must be
+  /// >= 1. This is the backpressure knob: each queued job owns a copy of
+  /// its input matrix.
+  std::size_t queue_capacity = 256;
+  /// Persistent worker threads draining the queue. 0 = no workers: the
+  /// owner drains explicitly via drain_once() (deterministic tests). With
+  /// 0 workers, AdmissionPolicy::Block submissions on a full queue wait
+  /// until some other thread drains — do not block the only thread.
+  unsigned workers = 1;
+  /// Max jobs a worker claims per wave. A wave runs as ONE batch through
+  /// the scheduling engine (round-robin fairness applies at claim time),
+  /// so larger waves amortize scheduling but coarsen fairness granularity.
+  std::size_t max_wave = 16;
+  /// Full-queue behaviour of submit().
+  AdmissionPolicy admission = AdmissionPolicy::Block;
+  /// Completed-result cache capacity in entries (0 disables caching AND
+  /// in-flight coalescing). Only Ok results are retained; eviction is LRU
+  /// over completed entries (pending entries are never evicted).
+  std::size_t cache_capacity = 64;
+  /// Scheduling side of each drained wave (schedule, crossover, work
+  /// stealing). `svd`/`on_error` members are ignored: per-job configs come
+  /// from the submissions and failures are always isolated. The contended-
+  /// pool fallback defaults ON (see file comment).
+  BatchConfig batch = [] {
+    BatchConfig c;
+    c.pool_busy_inline = true;
+    return c;
+  }();
+
+  void validate() const {
+    UNISVD_REQUIRE(queue_capacity >= 1,
+                   "ServeConfig: queue_capacity must be >= 1");
+    UNISVD_REQUIRE(max_wave >= 1, "ServeConfig: max_wave must be >= 1");
+    batch.validate();
+  }
+};
+
+/// Per-tenant slice of the service counters.
+struct TenantStats {
+  std::uint64_t accepted = 0;   ///< jobs admitted into the queue
+  std::uint64_t completed = 0;  ///< jobs solved (Ok or isolated failure)
+  double total_latency_seconds = 0.0;  ///< submit -> completion, summed
+  double max_latency_seconds = 0.0;    ///< worst single-job latency
+};
+
+/// Snapshot of the service counters (stats()). Conservation invariants,
+/// once the service is idle: accepted == completed + cancelled, and every
+/// submission is exactly one of accepted / rejected / cache_hits /
+/// coalesced.
+struct ServeStats {
+  std::uint64_t accepted = 0;    ///< submissions admitted into the queue
+  std::uint64_t rejected = 0;    ///< refused at admission (full queue under
+                                 ///< Reject, or submit after shutdown)
+  std::uint64_t cancelled = 0;   ///< queued jobs failed by shutdown(Cancel)
+  std::uint64_t completed = 0;   ///< jobs whose solve ran (Ok or failed)
+  std::uint64_t failed = 0;      ///< completed with status != Ok
+  std::uint64_t cache_hits = 0;  ///< submissions served by a completed entry
+  std::uint64_t coalesced = 0;   ///< submissions attached to a pending job
+  std::uint64_t waves = 0;       ///< drain waves executed
+  std::size_t queue_depth = 0;        ///< jobs currently queued
+  std::size_t queue_depth_peak = 0;   ///< high-water mark of queue_depth
+  std::size_t cache_entries = 0;      ///< completed entries currently cached
+  std::map<std::uint32_t, TenantStats> tenants;  ///< per-tenant, ordered
+};
+
+namespace detail {
+
+/// Content-derived cache identity: two independent 64-bit hashes over the
+/// logical matrix bytes, shape, element type and solver configuration,
+/// plus the job kind (dense vs truncated) that fixes the report type a
+/// cached state can be downcast to.
+struct CacheKey {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  std::uint8_t kind = 0;  ///< 0 = dense SvdReport job, 1 = TruncReport job
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  [[nodiscard]] std::size_t operator()(const CacheKey& k) const noexcept {
+    return static_cast<std::size_t>(k.h1 ^ (k.h2 * 0x9E3779B97F4A7C15ull) ^
+                                    k.kind);
+  }
+};
+
+/// Type-erased queued job: everything the queue, scheduler and cache need
+/// without knowing the element type or report type. Handles and the cache
+/// share one JobState via shared_ptr; `mu`/`cv`/`done` form the future.
+class JobBase {
+ public:
+  virtual ~JobBase() = default;
+
+  /// Run the classified solver and publish the result (never throws for
+  /// problem-level failures). `index` shapes the status message only.
+  virtual void solve(ka::Backend& backend, std::size_t index) = 0;
+  /// Fail without solving (admission reject / shutdown cancel): publishes
+  /// a done report carrying `status`.
+  virtual void fail(SvdStatus status, std::string message) = 0;
+
+  [[nodiscard]] bool is_done() const {
+    std::lock_guard lock(mu);
+    return done;
+  }
+  void wait_done() const {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+  /// Status after completion (call only once done).
+  [[nodiscard]] SvdStatus final_status() const {
+    std::lock_guard lock(mu);
+    return status_after_done;
+  }
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  SvdStatus status_after_done = SvdStatus::Ok;  ///< valid once done
+
+  // Scheduling identity (immutable after submit; no lock needed).
+  std::uint32_t tenant = 0;
+  int priority = 0;
+  double deadline = std::numeric_limits<double>::infinity();  ///< absolute
+  std::uint64_t seq = 0;        ///< admission order, the final tie-break
+  index_t extent = 1;           ///< batch::scheduling_extent of the problem
+  double submit_time = 0.0;     ///< service clock at submission (latency)
+  CacheKey key{};               ///< zero h1/h2/kind when not cacheable
+  bool cacheable = false;
+};
+
+/// Shared typed state: the single storage slot a result ever occupies.
+/// The worker MOVES the solver's report in (publish) and take() MOVES it
+/// out when the handle is the sole owner — no intermediate copies.
+template <class Report>
+class JobStateT : public JobBase {
+ public:
+  void publish(Report&& r) {
+    {
+      std::lock_guard lock(mu);
+      report_ = std::move(r);
+      status_after_done = report_.status;
+      done = true;
+    }
+    cv.notify_all();
+  }
+
+  void fail(SvdStatus status, std::string message) override {
+    Report r;
+    r.status = status;
+    r.status_message = std::move(message);
+    publish(std::move(r));
+  }
+
+  /// Call only once done (handles wait first).
+  [[nodiscard]] const Report& peek() const { return report_; }
+  [[nodiscard]] Report& peek_mutable() { return report_; }
+
+ private:
+  Report report_;
+};
+
+}  // namespace detail
+
+/// Future-style handle to one submitted job. Copyable (copies share the
+/// same underlying state). The report lives inside the shared state:
+/// report()/try_get() hand out references valid as long as any handle (or
+/// cache entry) holds it; take() extracts by move when this handle is the
+/// state's sole owner (cache bypassed via SubmitOptions::use_cache=false)
+/// and falls back to a copy when the state is shared.
+template <class Report>
+class BasicJobHandle {
+ public:
+  BasicJobHandle() = default;
+  explicit BasicJobHandle(std::shared_ptr<detail::JobStateT<Report>> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// True once the job completed (solved, rejected or cancelled).
+  [[nodiscard]] bool done() const { return state_ && state_->is_done(); }
+
+  /// Block until the job completes.
+  void wait() const {
+    UNISVD_REQUIRE(valid(), "JobHandle: wait() on an invalid handle");
+    state_->wait_done();
+  }
+
+  /// Non-blocking poll: the report if the job completed, nullptr otherwise.
+  [[nodiscard]] const Report* try_get() const {
+    if (!state_ || !state_->is_done()) return nullptr;
+    return &state_->peek();
+  }
+
+  /// Block, then return the report by reference (zero-copy; valid while
+  /// any handle or cache entry keeps the state alive).
+  [[nodiscard]] const Report& report() const {
+    wait();
+    return state_->peek();
+  }
+
+  /// Block, then extract the report. Moves when this handle solely owns
+  /// the state (no cache entry, no coalesced siblings — guaranteed by
+  /// SubmitOptions::use_cache = false); copies otherwise, leaving shared
+  /// readers intact. The handle stays valid but must not be read again
+  /// after a moving take().
+  [[nodiscard]] Report take() {
+    wait();
+    if (state_.use_count() == 1) return std::move(state_->peek_mutable());
+    return state_->peek();
+  }
+
+  /// Block, then return the final status.
+  [[nodiscard]] SvdStatus status() const {
+    wait();
+    return state_->final_status();
+  }
+
+ private:
+  std::shared_ptr<detail::JobStateT<Report>> state_;
+};
+
+using JobHandle = BasicJobHandle<SvdReport>;        ///< dense submissions
+using TruncJobHandle = BasicJobHandle<TruncReport>; ///< truncated submissions
+
+/// The asynchronous multi-tenant serving layer (see file comment).
+/// Thread-safe: submit/stats/drain_once/shutdown may race freely.
+class SvdService {
+ public:
+  explicit SvdService(ServeConfig config = {},
+                      ka::Backend& backend = ka::default_backend());
+  /// Drains (DrainMode::Drain) and joins the workers.
+  ~SvdService();
+
+  SvdService(const SvdService&) = delete;
+  SvdService& operator=(const SvdService&) = delete;
+
+  /// Submit one dense SVD job. The input is copied (the caller's buffer
+  /// may die immediately); the handle completes when a worker (or
+  /// drain_once) solves it — or instantly on a cache hit, an admission
+  /// reject, or a submit after shutdown (SvdStatus::Rejected).
+  template <class T>
+  [[nodiscard]] JobHandle submit(ConstMatrixView<T> a,
+                                 const SvdConfig& config = {},
+                                 const SubmitOptions& options = {});
+
+  /// Submit one randomized truncated SVD job (TruncConfig semantics as in
+  /// svd_truncated_report; the seed is used as given).
+  template <class T>
+  [[nodiscard]] TruncJobHandle submit_truncated(
+      ConstMatrixView<T> a, const TruncConfig& config = {},
+      const SubmitOptions& options = {});
+
+  /// Claim and solve ONE wave (up to ServeConfig::max_wave jobs, round-
+  /// robin across tenants) on the calling thread. Returns the number of
+  /// jobs solved (0 when the queue was empty). This is the worker loop's
+  /// body as a public primitive: with workers = 0 it makes the service a
+  /// deterministic synchronous object for tests.
+  std::size_t drain_once();
+
+  /// Stop the service: no further admissions (submissions complete with
+  /// SvdStatus::Rejected), queued jobs are solved (Drain) or failed with
+  /// SvdStatus::Cancelled (Cancel), workers join. Idempotent; the first
+  /// call's mode wins. Blocked submitters wake and reject.
+  void shutdown(DrainMode mode = DrainMode::Drain);
+
+  /// Counter snapshot (consistent: taken under the service lock).
+  [[nodiscard]] ServeStats stats() const;
+
+  /// Number of jobs currently queued (admitted, not yet claimed).
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+ private:
+  using JobPtr = std::shared_ptr<detail::JobBase>;
+
+  /// Admission + cache/coalescing front half of every submit. Returns the
+  /// state the handle should share: `job` itself (admitted or failed), or
+  /// a cached/pending state of the same key (cache hit / coalesced).
+  JobPtr admit(JobPtr job, bool use_cache);
+
+  /// Pop up to max_wave jobs round-robin (caller holds mu_).
+  std::vector<JobPtr> claim_wave_locked();
+  /// Solve a claimed wave through the scheduling engine + stats bookkeeping.
+  void run_wave(std::vector<JobPtr> wave);
+  void worker_loop();
+  double now() const;
+
+  ServeConfig config_;
+  ka::Backend* backend_;
+
+  mutable std::mutex mu_;  ///< queue, tenant heaps, cache, stats
+  std::condition_variable work_cv_;   ///< workers: queue non-empty / shutdown
+  std::condition_variable space_cv_;  ///< blocked submitters: space / shutdown
+
+  /// Per-tenant pending jobs, ordered best-first (priority desc, deadline
+  /// asc, seq asc). Empty tenants are erased so round-robin only visits
+  /// tenants with work.
+  struct TenantQueue {
+    std::vector<JobPtr> heap;  ///< std::push_heap/pop_heap storage
+  };
+  std::map<std::uint32_t, TenantQueue> pending_;
+  std::uint32_t rr_cursor_ = 0;  ///< next tenant id to serve (round-robin)
+  std::size_t queued_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool shutdown_ = false;
+
+  /// Result cache / in-flight coalescing map: key -> live job state. An
+  /// entry whose job is not yet done coalesces racing submissions; a done
+  /// entry serves hits. Only done entries count against cache_capacity and
+  /// participate in LRU.
+  struct CacheEntry {
+    JobPtr state;
+    std::list<detail::CacheKey>::iterator lru_pos;  ///< valid iff completed
+    bool completed = false;
+  };
+  std::unordered_map<detail::CacheKey, CacheEntry, detail::CacheKeyHash> cache_;
+  std::list<detail::CacheKey> lru_;  ///< completed entries, most recent first
+
+  ServeStats stats_;
+  std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace unisvd::serve

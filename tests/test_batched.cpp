@@ -349,3 +349,84 @@ TEST(BatchedSvd, ValuesDescendingInStoragePrecision) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// The public drain API (namespace batch): the scheduling engine and the
+// classified per-problem solvers the serving layer builds on.
+// ---------------------------------------------------------------------------
+
+TEST(BatchDrainApi, SchedulingExtentMatchesDriverClassification) {
+  // Pipeline problems class by their LARGE dimension...
+  EXPECT_EQ(batch::scheduling_extent(200, 100, 32), 200);
+  EXPECT_EQ(batch::scheduling_extent(100, 200, 32), 200);
+  // ...but fused-path problems (min dim at or below the threshold) class by
+  // their SMALL dimension, and empty shapes class as 1.
+  EXPECT_EQ(batch::scheduling_extent(200, 16, 32), 16);
+  EXPECT_EQ(batch::scheduling_extent(16, 16, 32), 16);
+  EXPECT_EQ(batch::scheduling_extent(200, 16, 0), 200);  // fused path disabled
+  EXPECT_EQ(batch::scheduling_extent(0, 5, 32), 1);
+  EXPECT_EQ(batch::scheduling_extent(5, 0, 32), 1);
+}
+
+TEST(BatchDrainApi, EmptyExtentsRunNoCallbacks) {
+  int calls = 0;
+  const batch::DrainRun run = batch::run_scheduled_batch(
+      {}, BatchConfig{}, ka::default_backend(), [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(run.schedules.empty());
+  EXPECT_EQ(run.threads_used, 0u);
+}
+
+TEST(BatchDrainApi, SingleProblemWaveSolvesOnce) {
+  // The serving layer's smallest wave: exactly one problem through the
+  // engine must invoke the callback exactly once and report one schedule.
+  const auto a = testutil::convert<float>(testutil::random_matrix(24, 24, 3));
+  int calls = 0;
+  SvdReport rep;
+  const batch::DrainRun run = batch::run_scheduled_batch(
+      {24}, BatchConfig{}, ka::default_backend(), [&](std::size_t p) {
+        ++calls;
+        rep = batch::solve_one_classified<float>(a.view(), small_config(),
+                                                 ka::default_backend(),
+                                                 "drain_test", p);
+      });
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(run.schedules.size(), 1u);
+  EXPECT_EQ(rep.status, SvdStatus::Ok);
+  EXPECT_EQ(rep.values,
+            svd_values_report<float>(a.view(), small_config()).values);
+}
+
+TEST(BatchDrainApi, ClassifiedSolversIsolateFailuresWithoutThrowing) {
+  Matrix<float> poison(6, 6, 1.0f);
+  poison(2, 3) = std::numeric_limits<float>::quiet_NaN();
+  const SvdReport bad = batch::solve_one_classified<float>(
+      poison.view(), SvdConfig{}, ka::default_backend(), "drain_test", 7);
+  EXPECT_EQ(bad.status, SvdStatus::NonFinite);
+  EXPECT_TRUE(bad.values.empty());
+  EXPECT_NE(bad.status_message.find("problem 7"), std::string::npos);
+
+  const SvdReport empty = batch::solve_one_classified<float>(
+      ConstMatrixView<float>(nullptr, 0, 4, 1), SvdConfig{},
+      ka::default_backend());
+  EXPECT_EQ(empty.status, SvdStatus::InvalidInput);
+
+  TruncConfig tc;
+  tc.rank = 2;
+  const TruncReport tbad = batch::solve_one_trunc_classified<float>(
+      poison.view(), tc, ka::default_backend());
+  EXPECT_EQ(tbad.status, SvdStatus::NonFinite);
+  EXPECT_TRUE(tbad.values.empty());
+}
+
+TEST(BatchDrainApi, ClassifiedTruncMatchesSyncSolve) {
+  const auto a = testutil::convert<float>(testutil::random_matrix(40, 20, 5));
+  TruncConfig tc;
+  tc.rank = 3;
+  const TruncReport via_drain = batch::solve_one_trunc_classified<float>(
+      a.view(), tc, ka::default_backend());
+  const TruncReport sync = svd_truncated_report<float>(a.view(), tc);
+  ASSERT_EQ(via_drain.status, SvdStatus::Ok);
+  EXPECT_EQ(via_drain.values, sync.values);  // same seed => bit identical
+  EXPECT_EQ(via_drain.rank, sync.rank);
+}

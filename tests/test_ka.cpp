@@ -650,3 +650,82 @@ TEST(SimdDispatch, RuntimeEnabledIsConjunction) {
             ka::simd::compiled() && ka::simd::cpu_supported() &&
                 !ka::simd::force_scalar_env());
 }
+
+// ---------------------------------------------------------------------------
+// Contended-pool inline fallback (ParallelForOptions::busy_fallback_inline):
+// the serving layer's worker threads degrade to inline execution instead of
+// queueing on the submit lock when another thread owns the pool.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, BusyFallbackUncontendedRunsEveryIndexOnce) {
+  ka::ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(128);
+  ka::ParallelForOptions opts;
+  opts.busy_fallback_inline = true;
+  pool.parallel_for(
+      128, [&](index_t i) { counts[static_cast<std::size_t>(i)] += 1; }, opts);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, BusyFallbackRunsInlineWhenPoolIsContended) {
+  ka::ThreadPool pool(2);
+  std::atomic<bool> holding{false};
+  std::atomic<bool> release{false};
+
+  // The holder's 2-iteration job occupies the pool's submit lock until we
+  // release it (n == 1 would take the inline shortcut and never contend).
+  std::thread holder([&] {
+    pool.parallel_for(2, [&](index_t) {
+      holding = true;
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (!holding.load()) std::this_thread::yield();
+
+  // Contended submit with the fallback: the whole range — and every nested
+  // parallel_for its iterations make — must run inline on THIS thread,
+  // completing while the holder still owns the pool.
+  const auto me = std::this_thread::get_id();
+  std::atomic<int> foreign{0};
+  std::atomic<int> ran{0};
+  ka::ParallelForOptions opts;
+  opts.busy_fallback_inline = true;
+  pool.parallel_for(
+      4,
+      [&](index_t) {
+        if (std::this_thread::get_id() != me) foreign += 1;
+        pool.parallel_for(3, [&](index_t) {
+          ran += 1;
+          if (std::this_thread::get_id() != me) foreign += 1;
+        });
+      },
+      opts);
+  EXPECT_EQ(foreign.load(), 0);
+  EXPECT_EQ(ran.load(), 12);
+
+  release = true;
+  holder.join();
+}
+
+TEST(ThreadPool, BusyFallbackPropagatesExceptionsFromInlineRun) {
+  ka::ThreadPool pool(2);
+  std::atomic<bool> holding{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    pool.parallel_for(2, [&](index_t) {
+      holding = true;
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (!holding.load()) std::this_thread::yield();
+
+  ka::ParallelForOptions opts;
+  opts.busy_fallback_inline = true;
+  EXPECT_THROW(
+      pool.parallel_for(
+          3, [&](index_t i) { if (i == 1) throw Error("inline boom"); }, opts),
+      Error);
+
+  release = true;
+  holder.join();
+}

@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <limits>
 #include <locale>
 #include <sstream>
@@ -646,4 +648,59 @@ TEST(TuningTable, RoundTripsUnderCommaDecimalLocale) {
   EXPECT_EQ(from_file.size(), table.size());
   EXPECT_EQ(from_file.batch_crossover_or("cpu", Precision::FP32, 0), 1024);
   EXPECT_DOUBLE_EQ(from_file.qr_first_aspect_or("cpu", Precision::FP32, 0.0), 1.5);
+}
+
+TEST(TuningTable, ConcurrentLearnAndSaveNeverCorruptTheFile) {
+  // Two workers learn into their own tables and race save() against the
+  // SAME path (the UNISVD_TUNING_FILE sharing scenario: two processes or
+  // threads autotuning concurrently), while a reader load()s throughout.
+  // The atomic temp-file-plus-rename contract must make every observable
+  // file state a COMPLETE table from one writer or the other — a reader
+  // must never see a torn or partially written table.
+  const std::string path = temp_path("unisvd_tuning_concurrent.txt");
+  std::filesystem::remove(path);
+  ka::Backend& backend = ka::default_backend();
+
+  // Each writer's table has exactly kEntries entries, with writer-tagged
+  // keys: any mixed or truncated file would load with a different size.
+  constexpr std::size_t kEntries = 9;
+  auto build_table = [&](const std::string& tag, Precision p,
+                         std::uint64_t seed) {
+    core::TuningTable table;
+    (void)core::learn_small_svd_threshold<float>(table, backend, {4, 8}, 1,
+                                                 SvdConfig{}, seed);
+    ASSERT_EQ(table.size(), 1u);  // the learned threshold entry
+    for (int i = 0; i < 8; ++i) {
+      table.set_batch_crossover(tag + std::to_string(i), p, 100 + i);
+    }
+    ASSERT_EQ(table.size(), kEntries);
+    std::atomic<int> failed_saves{0};
+    std::thread t([&svc_table = table, path, &failed_saves] {
+      for (int iter = 0; iter < 25; ++iter) {
+        if (!svc_table.save(path)) failed_saves.fetch_add(1);
+      }
+    });
+    int bad_loads = 0;
+    for (int iter = 0; iter < 25; ++iter) {
+      const auto loaded = core::TuningTable::load(path);
+      // Complete table (either writer's) or — before the very first rename
+      // landed — an absent file loading as empty. Nothing in between.
+      if (loaded.size() != kEntries && loaded.size() != 0) ++bad_loads;
+    }
+    t.join();
+    EXPECT_EQ(failed_saves.load(), 0);
+    EXPECT_EQ(bad_loads, 0);
+  };
+
+  std::thread writer_a([&] { build_table("wa", Precision::FP32, 1); });
+  build_table("wb", Precision::FP64, 2);
+  writer_a.join();
+
+  // The last rename wins; whichever writer it was, the file is a complete,
+  // parseable table.
+  std::size_t malformed = 0;
+  std::ifstream is(path);
+  const auto final_table = core::TuningTable::read(is, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  EXPECT_EQ(final_table.size(), kEntries);
 }
