@@ -13,10 +13,13 @@
 /// exact arithmetic).
 
 #include <cmath>
+#include <limits>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "band/band_matrix.hpp"
+#include "band/rot_batch.hpp"
 #include "common/error.hpp"
 #include "common/givens_rows.hpp"
 
@@ -31,6 +34,18 @@ template <class CT>
 std::pair<CT, CT> givens(CT f, CT g) {
   if (g == CT(0)) return {CT(1), CT(0)};
   if (f == CT(0)) return {CT(0), CT(1)};
+  // Subnormal inputs carry only a few mantissa bits, so f/r and g/r can
+  // land far off the unit circle (c^2 + s^2 up to 1.06 observed at FP32 on
+  // severely graded bands) and thousands of such rotations inflate the
+  // accumulators without ever producing a NaN. (c, s) depend only on the
+  // ratio f : g, so rescale both by a power of two (exact) into the normal
+  // range first.
+  const CT tiny = std::numeric_limits<CT>::min();
+  if (std::abs(f) < tiny && std::abs(g) < tiny) {
+    const CT scale = CT(1) / tiny;
+    f *= scale;
+    g *= scale;
+  }
   const CT r = std::hypot(f, g);
   return {f / r, g / r};
 }
@@ -41,6 +56,23 @@ std::pair<CT, CT> givens(CT f, CT g) {
 struct ChaseStats {
   double rotations = 0.0;      ///< Givens rotations applied
   double rotated_elems = 0.0;  ///< element pairs updated
+  double batch_flushes = 0.0;  ///< rotation-batch replay passes (0 = eager)
+};
+
+/// Options of the Stage-2 chase (the accumulator-carrying overload below).
+template <class CT>
+struct Stage2Options {
+  MatrixView<CT>* ut = nullptr;      ///< left accumulator (rows = vectors)
+  MatrixView<CT>* vt = nullptr;      ///< right accumulator
+  double* acc_seconds = nullptr;     ///< Stage::VectorAccumulation share
+  /// Cache-blocked rotation batching (band/rot_batch.hpp): when `backend`
+  /// is non-null and `rot_batch` > 0, accumulator mirroring buffers up to
+  /// `rot_batch` rotations and replays each batch tile-by-tile through a
+  /// backend launch — bit-identical to the eager per-rotation path, but
+  /// with L1/L2-resident accumulator traffic and trace-visible launches.
+  /// Otherwise (the default) rotations mirror eagerly as they are made.
+  ka::Backend* backend = nullptr;
+  index_t rot_batch = 0;
 };
 
 /// Reduce `b` (upper band, bandwidth bw) to upper bidiagonal; returns the
@@ -62,13 +94,22 @@ struct ChaseStats {
 /// the Figure 6 breakdown attributes vector work to the vector stage.
 template <class CT>
 ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>& e,
-                          MatrixView<CT>* ut = nullptr,
-                          MatrixView<CT>* vt = nullptr,
-                          double* acc_seconds = nullptr) {
+                          const Stage2Options<CT>& opts) {
   const index_t n = b.n();
   const index_t bw = b.bandwidth();
+  MatrixView<CT>* ut = opts.ut;
+  MatrixView<CT>* vt = opts.vt;
   ChaseStats stats;
-  const AccTimer acc_timer(acc_seconds);
+  const AccTimer acc_timer(opts.acc_seconds);
+
+  // Rotation-batch replay: buffer the mirror rotations and apply them to
+  // L1-resident accumulator column tiles instead of sweeping the full
+  // accumulator once per rotation. Bit-identical (see rot_batch.hpp).
+  std::optional<GivensBatch<CT>> batch;
+  if (opts.backend != nullptr && opts.rot_batch > 0 &&
+      (ut != nullptr || vt != nullptr)) {
+    batch.emplace(*opts.backend, ut, vt, opts.rot_batch, acc_timer);
+  }
 
   auto rotate_cols = [&](index_t c1, index_t c2, index_t ilo, index_t ihi, CT c, CT s) {
     for (index_t i = ilo; i <= ihi; ++i) {
@@ -80,7 +121,11 @@ ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>
       v = nv;
     }
     if (vt != nullptr && !(c == CT(1) && s == CT(0))) {
-      acc_timer.timed([&] { apply_givens_rows(*vt, c1, c2, c, s); });
+      if (batch.has_value()) {
+        batch->push(GivensBatch<CT>::Side::Right, c1, c2, c, s);
+      } else {
+        acc_timer.timed([&] { apply_givens_rows(*vt, c1, c2, c, s); });
+      }
     }
     stats.rotations += 1.0;
     stats.rotated_elems += static_cast<double>(ihi - ilo + 1);
@@ -95,7 +140,11 @@ ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>
       v = nv;
     }
     if (ut != nullptr && !(c == CT(1) && s == CT(0))) {
-      acc_timer.timed([&] { apply_givens_rows(*ut, r1, r2, c, s); });
+      if (batch.has_value()) {
+        batch->push(GivensBatch<CT>::Side::Left, r1, r2, c, s);
+      } else {
+        acc_timer.timed([&] { apply_givens_rows(*ut, r1, r2, c, s); });
+      }
     }
     stats.rotations += 1.0;
     stats.rotated_elems += static_cast<double>(jhi - jlo + 1);
@@ -137,6 +186,11 @@ ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>
     }
   }
 
+  if (batch.has_value()) {
+    batch->flush();
+    stats.batch_flushes = static_cast<double>(batch->flushes());
+  }
+
   d.resize(static_cast<std::size_t>(n));
   e.resize(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
   for (index_t i = 0; i < n; ++i) {
@@ -144,6 +198,20 @@ ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>
     if (i + 1 < n) e[static_cast<std::size_t>(i)] = b.at(i, i + 1);
   }
   return stats;
+}
+
+/// Back-compatible eager-mirroring entry point (the historic signature):
+/// identical arithmetic, no rotation batching.
+template <class CT>
+ChaseStats band_to_bidiag(BandMatrix<CT>& b, std::vector<CT>& d, std::vector<CT>& e,
+                          MatrixView<CT>* ut = nullptr,
+                          MatrixView<CT>* vt = nullptr,
+                          double* acc_seconds = nullptr) {
+  Stage2Options<CT> opts;
+  opts.ut = ut;
+  opts.vt = vt;
+  opts.acc_seconds = acc_seconds;
+  return band_to_bidiag(b, d, e, opts);
 }
 
 }  // namespace unisvd::band

@@ -1,0 +1,155 @@
+#pragma once
+/// \file rot_batch.hpp
+/// Cache-blocked Givens rotation batching for the Stage-2 accumulators.
+///
+/// The eager Stage-2 accumulator update mirrors every bulge-chase rotation
+/// across the FULL accumulator row pair the moment it is generated: for an
+/// n x n accumulator that is O(n) strided traffic per rotation and the
+/// whole accumulator streams through cache once per rotation. The batch
+/// replay instead buffers a wavefront of rotations (in generation order)
+/// and applies the entire buffer to one accumulator column tile at a time:
+/// the tile — a few KiB — stays L1/L2-resident while every buffered
+/// rotation visits it, turning O(rots) full-matrix sweeps into
+/// O(rots / capacity) tile passes.
+///
+/// Bit-identity with the eager path is structural, not approximate: a
+/// Givens rotation of rows (r1, r2) touches each column independently, so
+/// the value at (row, col) only depends on the sub-sequence of rotations
+/// hitting that column — which the replay applies in exactly the original
+/// order with exactly the per-element expression of apply_givens_rows
+/// (common/givens_rows.hpp). Reordering across columns is invisible.
+///
+/// Every flush goes through ka::Backend::launch as a "stage2_rot_batch"
+/// kernel (one workgroup per column tile, one work-item per column,
+/// Stage::VectorAccumulation), so execution parallelizes across tiles on
+/// the CPU backends AND the launch shows up in trace streams / the sim/
+/// performance model like any other accumulator kernel — the eager path's
+/// host-side rotation loop was invisible to both.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/givens_rows.hpp"
+#include "common/matrix.hpp"
+#include "common/precision.hpp"
+#include "ka/backend.hpp"
+
+namespace unisvd::band {
+
+/// Ordered buffer of Stage-2 mirror rotations with column-tiled replay.
+template <class CT>
+class GivensBatch {
+ public:
+  /// Accumulator columns per replay workgroup. 64 compute-precision
+  /// elements x the band window rows is comfortably L1-resident.
+  static constexpr index_t kColTile = 64;
+
+  enum class Side : std::uint8_t {
+    Left,  ///< row rotation, mirrors onto Ut
+    Right  ///< column rotation, mirrors onto Vt
+  };
+
+  /// `ut` / `vt` may be null individually (values-only never constructs a
+  /// batch at all); `capacity` is the rotation count that triggers an
+  /// automatic flush. The timer books replay wall clock to the caller's
+  /// Stage::VectorAccumulation share, matching the eager path.
+  GivensBatch(ka::Backend& backend, MatrixView<CT>* ut, MatrixView<CT>* vt,
+              index_t capacity, const AccTimer& timer)
+      : backend_(backend),
+        ut_(ut),
+        vt_(vt),
+        capacity_(capacity >= 1 ? capacity : 1),
+        timer_(timer) {
+    rots_.reserve(static_cast<std::size_t>(capacity_));
+  }
+
+  GivensBatch(const GivensBatch&) = delete;
+  GivensBatch& operator=(const GivensBatch&) = delete;
+
+  ~GivensBatch() { flush(); }
+
+  /// Buffer one rotation; flushes automatically at capacity.
+  void push(Side side, index_t r1, index_t r2, CT c, CT s) {
+    rots_.push_back(Rot{r1, r2, c, s, side});
+    if (static_cast<index_t>(rots_.size()) >= capacity_) flush();
+  }
+
+  /// Replay every buffered rotation onto the accumulators, in order.
+  void flush() {
+    if (rots_.empty()) return;
+    timer_.timed([&] {
+      if (ut_ != nullptr) replay(*ut_, Side::Left);
+      if (vt_ != nullptr) replay(*vt_, Side::Right);
+    });
+    rots_.clear();
+    ++flushes_;
+  }
+
+  [[nodiscard]] index_t flushes() const noexcept { return flushes_; }
+
+ private:
+  struct Rot {
+    index_t r1;
+    index_t r2;
+    CT c;
+    CT s;
+    Side side;
+  };
+
+  void replay(MatrixView<CT> m, Side side) {
+    index_t count = 0;
+    for (const Rot& r : rots_) {
+      if (r.side == side) ++count;
+    }
+    if (count == 0) return;
+
+    const index_t ncols = m.cols();
+    const double dcols = static_cast<double>(ncols);
+    const double drots = static_cast<double>(count);
+    ka::LaunchDesc desc;
+    desc.name = "stage2_rot_batch";
+    desc.stage = ka::Stage::VectorAccumulation;
+    desc.num_groups = (ncols + kColTile - 1) / kColTile;
+    desc.group_size = static_cast<int>(kColTile);
+    desc.precision = precision_of<CT>;
+    desc.cost.flops = 6.0 * drots * dcols;
+    // Blocked replay streams each accumulator element through cache at
+    // most once per flush: traffic is the smaller of per-rotation row
+    // pairs and the full accumulator footprint.
+    const double touched =
+        std::min(2.0 * drots, static_cast<double>(m.rows())) * dcols *
+        static_cast<double>(sizeof(CT));
+    desc.cost.bytes_read = touched;
+    desc.cost.bytes_written = touched;
+    desc.cost.serial_iterations = drots;
+
+    backend_.launch(desc, [&](ka::WorkGroupCtx& wg) {
+      const index_t base = wg.group_id() * kColTile;
+      wg.items([&](int item) {
+        const index_t j = base + static_cast<index_t>(item);
+        if (j >= ncols) return;
+        for (const Rot& r : rots_) {
+          if (r.side != side) continue;
+          CT& u = m.at(r.r1, j);
+          CT& v = m.at(r.r2, j);
+          const CT nu = r.c * u + r.s * v;
+          const CT nv = -r.s * u + r.c * v;
+          u = nu;
+          v = nv;
+        }
+      });
+    });
+  }
+
+  ka::Backend& backend_;
+  MatrixView<CT>* ut_;
+  MatrixView<CT>* vt_;
+  index_t capacity_;
+  AccTimer timer_;
+  std::vector<Rot> rots_;
+  index_t flushes_ = 0;
+};
+
+}  // namespace unisvd::band

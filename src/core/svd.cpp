@@ -7,6 +7,7 @@
 
 #include "band/band_matrix.hpp"
 #include "bidiag/bidiag_qr.hpp"
+#include "dc/dc_svd.hpp"
 #include "common/half.hpp"
 #include "common/linalg_ref.hpp"
 #include "qr/band_reduction.hpp"
@@ -79,6 +80,70 @@ std::vector<index_t> select_real_rows(const Matrix<CT>& acc, index_t real,
   return rows;
 }
 
+/// Stream the composition U = Q * [U_r; I_completion] through the backward
+/// reflector replay in n_pad-column slabs: each slab is seeded (the small
+/// factor's columns for j < n via `seed_col`, the identity for the Full
+/// job's completion range j in [n, m)), replayed through panel_apply_q,
+/// and extracted into `dest` before the next slab is seeded — so no job
+/// ever materializes an m_pad x m_pad working set; peak composition memory
+/// is O(m_pad * n_pad).
+///
+/// The panel's padded rows are exactly zero, so every reflector component
+/// there is zero and Q acts as the identity on the padding subspace:
+/// columns stay free of padded-row mass, and the identity-seeded
+/// completion columns replay into Q's orthonormal completion directions
+/// (j in [m, mpad) would reproduce pure padding vectors, so they are
+/// neither seeded nor extracted).
+///
+/// `seed_col(comp, local_j, global_j)` writes small-factor column global_j
+/// (< n) into comp column local_j. `dest` receives column j of U in its
+/// column j (`dest_transposed` false — the tall-input U target) or in its
+/// row j (`dest_transposed` true — the wide-input V^T target).
+template <class T, class CT, class SeedFn>
+void compose_left_blocked(ka::Backend& backend, MatrixView<T> panel,
+                          MatrixView<T> tau_all,
+                          const qr::KernelConfig& kernels,
+                          ka::StageTimes& times, const SeedFn& seed_col,
+                          index_t m, index_t n, bool full,
+                          Matrix<double>& dest, bool dest_transposed) {
+  const int ts = kernels.tilesize;
+  const index_t mpad = panel.rows();
+  const index_t npad = panel.cols();
+  const index_t ucols = full ? m : n;
+  const index_t comp_cols = tile::TileLayout::make(ucols, ts).n;
+  Matrix<CT> comp(mpad, std::min(npad, comp_cols));
+  for (index_t c0 = 0; c0 < comp_cols; c0 += comp.cols()) {
+    const index_t w = std::min(comp.cols(), comp_cols - c0);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (index_t j = 0; j < w; ++j) {
+      for (index_t i = 0; i < mpad; ++i) comp(i, j) = CT(0);
+    }
+    for (index_t j = c0; j < std::min(c0 + w, n); ++j) {
+      seed_col(comp, j - c0, j);
+    }
+    if (full) {
+      for (index_t j = std::max(c0, n); j < std::min(c0 + w, m); ++j) {
+        comp(j, j - c0) = CT(1);
+      }
+    }
+    times.add(ka::Stage::VectorAccumulation, seconds_since(t0));
+    MatrixView<CT> slab = comp.view().block(0, 0, mpad, w);
+    qr::panel_apply_q<T, CT>(backend, panel, tau_all, slab, kernels, &times);
+    const auto t1 = std::chrono::steady_clock::now();
+    for (index_t j = c0; j < std::min(c0 + w, ucols); ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        const double v = static_cast<double>(comp(i, j - c0));
+        if (dest_transposed) {
+          dest(j, i) = v;
+        } else {
+          dest(i, j) = v;
+        }
+      }
+    }
+    times.add(ka::Stage::VectorAccumulation, seconds_since(t1));
+  }
+}
+
 /// The QR-first tall path (vector jobs, aspect >= SvdConfig::
 /// qr_first_aspect). Instead of threading an m_pad x m_pad left accumulator
 /// through Stages 1-3, factor the tall orientation A/scale = Q R with the
@@ -137,46 +202,28 @@ SvdReport qr_first_solve(ConstMatrixView<T> at, bool wide,
   const SvdReport small = svd_values_report<T>(r.view(), inner, backend);
   rep.stage_times += small.stage_times;
   rep.chase_stats = small.chase_stats;
+  rep.stage3_dc = small.stage3_dc;
   rep.values = small.values;
   if (rep.scale_factor != 1.0) {
     for (auto& v : rep.values) v *= rep.scale_factor;
   }
 
-  // Compose U = Q * [U_R; 0] by backward reflector replay. The panel's
-  // padded rows are exactly zero, so every reflector component there is
-  // zero and Q acts as the identity on the padding subspace: columns stay
-  // free of padded-row mass, and for SvdJob::Full the identity-seeded
-  // columns j in [n, m) replay into Q's orthonormal completion directions
-  // (j in [m, mpad) would reproduce pure padding vectors, so they are
-  // neither seeded nor extracted).
-  const bool full = config.job == SvdJob::Full;
-  const index_t comp_cols = full ? mpad : npad;
-  Matrix<CT> comp(mpad, comp_cols, CT(0));
-  for (index_t j = 0; j < n; ++j) {
-    for (index_t i = 0; i < n; ++i) {
-      comp(i, j) = static_cast<CT>(small.u(i, j));
-    }
-  }
-  if (full) {
-    for (index_t j = n; j < m; ++j) comp(j, j) = CT(1);
-  }
-  MatrixView<CT> comp_view = comp.view();
-  qr::panel_apply_q<T, CT>(backend, work.view(), tau_all.view(), comp_view,
-                           config.kernels, &rep.stage_times);
-
-  // Extraction epilogue (the replay's launches self-attributed above). In
-  // the tall orientation U = comp's first m (Full) or n (Thin) columns and
-  // V^T = the small problem's V^T; a wide input swaps the factor roles
+  // Compose U = Q * [U_R; 0] by blocked backward reflector replay (see
+  // compose_left_blocked): the Full job streams its completion columns in
+  // n_pad-wide slabs instead of materializing an m_pad x m_pad working
+  // set. In the tall orientation U = the composed columns and V^T = the
+  // small problem's V^T; a wide input swaps the factor roles
   // (A = at^T  =>  A's U = V_t, A's V^T = U_t^T).
-  const auto t0 = std::chrono::steady_clock::now();
+  const bool full = config.job == SvdJob::Full;
   const index_t ucols = full ? m : n;
+  const auto seed = [&](Matrix<CT>& comp, index_t lj, index_t gj) {
+    for (index_t i = 0; i < n; ++i) {
+      comp(i, lj) = static_cast<CT>(small.u(i, gj));
+    }
+  };
+  const auto t0 = std::chrono::steady_clock::now();
   if (!wide) {
     rep.u = Matrix<double>(m, ucols);
-    for (index_t j = 0; j < ucols; ++j) {
-      for (index_t i = 0; i < m; ++i) {
-        rep.u(i, j) = static_cast<double>(comp(i, j));
-      }
-    }
     rep.vt = small.vt;
   } else {
     rep.u = Matrix<double>(n, small.vt.rows());
@@ -186,13 +233,11 @@ SvdReport qr_first_solve(ConstMatrixView<T> at, bool wide,
       }
     }
     rep.vt = Matrix<double>(ucols, m);
-    for (index_t j = 0; j < m; ++j) {
-      for (index_t i = 0; i < ucols; ++i) {
-        rep.vt(i, j) = static_cast<double>(comp(j, i));
-      }
-    }
   }
   rep.stage_times.add(ka::Stage::VectorAccumulation, seconds_since(t0));
+  compose_left_blocked<T, CT>(backend, work.view(), tau_all.view(),
+                              config.kernels, rep.stage_times, seed, m, n,
+                              full, wide ? rep.vt : rep.u, wide);
   return rep;
 }
 
@@ -247,13 +292,15 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
   const auto col_layout = tile::TileLayout::make(n, ts);
   const index_t npad = col_layout.n;
   rep.padded_n = npad;
-  const index_t mpad = m == n ? npad : tile::TileLayout::make(m, ts).n;
 
   // Transposed factor accumulators in compute precision (U = ut^T), seeded
   // with the identity. Stage 1 applies its tile reflectors to them through
   // the same launch path as the trailing updates, Stage 2 mirrors its
-  // Givens rotations, Stage 3 accumulates the QR-iteration rotations and
-  // sorts rows with the values.
+  // Givens rotations, Stage 3 accumulates its rotations (QR iteration) or
+  // composes its coefficient matrices (divide-and-conquer) and sorts rows
+  // with the values. Both accumulators are n_pad-sized: a tall input's
+  // left factor lives in the R problem's coordinates and is lifted to the
+  // full m rows afterwards by the blocked reflector replay.
   Matrix<CT> ut_acc;
   Matrix<CT> vt_acc;
   MatrixView<CT> ut_view;
@@ -261,7 +308,7 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
   MatrixView<CT>* ut_ptr = nullptr;
   MatrixView<CT>* vt_ptr = nullptr;
   if (want_vectors) {
-    ut_acc = identity<CT>(mpad);
+    ut_acc = identity<CT>(npad);
     vt_acc = identity<CT>(npad);
     ut_view = ut_acc.view();
     vt_view = vt_acc.view();
@@ -274,17 +321,43 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
   // the descending sort.
   Matrix<T> square(npad, npad, T(0));
 
+  // Retained tall-panel factorization (vector jobs on tall inputs): kept
+  // alive through the stages so the extraction epilogue can replay Q onto
+  // the solved left factor.
+  Matrix<T> panel;
+  Matrix<T> panel_tau;
+
   if (m == n) {
     copy_scaled(at, square, rep.scale_factor);
+  } else if (want_vectors) {
+    // Tall vector job below the QR-first aspect: factor A = Q R with the
+    // REPLAYABLE panel QR (same kernel arithmetic as tall_qr, so R — and
+    // therefore the values — is bit-identical to the historic path) and
+    // keep the reflectors. The stages then run with n_pad-sized
+    // accumulators and U is composed afterwards by blocked replay: peak
+    // left-side memory is O(m_pad * n_pad) instead of the m_pad^2
+    // accumulator the eager mirror needed.
+    const auto row_layout = tile::TileLayout::make(m, ts);
+    panel = Matrix<T>(row_layout.n, npad, T(0));
+    copy_scaled(at, panel, rep.scale_factor);
+    panel_tau = Matrix<T>(
+        qr::panel_tau_rows(row_layout.ntiles, col_layout.ntiles), ts, T(0));
+    qr::panel_qr_factor<T>(backend, panel.view(), panel_tau.view(),
+                           config.kernels, &rep.stage_times);
+    for (index_t j = 0; j < npad; ++j) {  // R = upper triangle
+      for (index_t i = 0; i <= j; ++i) {
+        square(i, j) = panel(i, j);
+      }
+    }
   } else {
-    // Tall input: tiled QR first (same kernels), then reduce R. The left
-    // accumulator spans the full m_pad space so Q_tall^T lands in it.
+    // Tall values-only: tiled QR first (same kernels), then reduce R; the
+    // reflectors are consumed immediately, nothing is retained.
     const auto row_layout = tile::TileLayout::make(m, ts);
     Matrix<T> work(row_layout.n, npad, T(0));
     copy_scaled(at, work, rep.scale_factor);
     Matrix<T> qr_tau(row_layout.ntiles, ts, T(0));
     qr::tall_qr<T>(backend, work.view(), qr_tau.view(), config.kernels,
-                   &rep.stage_times, ut_ptr);
+                   &rep.stage_times, nullptr);
     for (index_t j = 0; j < npad; ++j) {  // R = upper triangle
       for (index_t i = 0; i <= j; ++i) {
         square(i, j) = work(i, j);
@@ -307,23 +380,52 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
   std::vector<CT> d;
   std::vector<CT> e;
   double acc2 = 0.0;
-  rep.chase_stats = band::band_to_bidiag(bandm, d, e, ut_ptr, vt_ptr,
-                                         want_vectors ? &acc2 : nullptr);
+  band::Stage2Options<CT> s2;
+  s2.ut = ut_ptr;
+  s2.vt = vt_ptr;
+  s2.acc_seconds = want_vectors ? &acc2 : nullptr;
+  s2.backend = &backend;
+  s2.rot_batch = config.stage2_batch;
+  rep.chase_stats = band::band_to_bidiag(bandm, d, e, s2);
   rep.stage_times.add(ka::Stage::BandToBidiagonal, seconds_since(t0) - acc2);
   rep.stage_times.add(ka::Stage::VectorAccumulation, acc2);
 
-  // Stage 3: bidiagonal -> singular values (implicit-shift QR iteration,
-  // Sturm-bisection fallback on stagnating blocks). The vector variant
-  // executes identical d/e arithmetic — values are bit-identical either
-  // way — and, like Stage 2, splits its accumulator-rotation time out into
-  // VectorAccumulation.
+  // Stage 3: bidiagonal -> singular values. Engine selection
+  // (SvdConfig::stage3): the implicit-shift QR iteration — whose vector
+  // variant executes identical d/e arithmetic, so values are bit-identical
+  // across jobs — or the divide-and-conquer solver (src/dc), whose values
+  // agree within the accuracy gates rather than bitwise. Auto keeps
+  // values-only solves on QR (historic bit-identity) and sends vector
+  // solves past the crossover to D&C. Both engines split their
+  // accumulator-composition time out into VectorAccumulation.
   t0 = std::chrono::steady_clock::now();
   double acc3 = 0.0;
-  const std::vector<CT> sv =
-      want_vectors
-          ? bidiag::bidiag_svd_qr_vectors(std::move(d), std::move(e), ut_view,
-                                          vt_view, &acc3)
-          : bidiag::bidiag_svd_qr(std::move(d), std::move(e));
+  bool use_dc = false;
+  switch (config.stage3) {
+    case Stage3Solver::QR:
+      break;
+    case Stage3Solver::DivideConquer:
+      use_dc = true;
+      break;
+    case Stage3Solver::Auto:
+      use_dc = want_vectors && npad >= config.dc_crossover;
+      break;
+  }
+  rep.stage3_dc = use_dc;
+  std::vector<CT> sv;
+  if (use_dc) {
+    dc::DcOptions dco;
+    dco.pool = backend.batch_pool();
+    dco.acc_seconds = &acc3;
+    sv = dc::bidiag_svd_dc<CT>(std::move(d), std::move(e),
+                               want_vectors ? &ut_view : nullptr,
+                               want_vectors ? &vt_view : nullptr, dco);
+  } else {
+    sv = want_vectors
+             ? bidiag::bidiag_svd_qr_vectors(std::move(d), std::move(e),
+                                             ut_view, vt_view, &acc3)
+             : bidiag::bidiag_svd_qr(std::move(d), std::move(e));
+  }
   rep.stage_times.add(ka::Stage::BidiagonalToDiagonal, seconds_since(t0) - acc3);
   rep.stage_times.add(ka::Stage::VectorAccumulation, acc3);
 
@@ -345,7 +447,11 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
     std::vector<index_t> usel;
     std::vector<index_t> vsel;
     if (config.job == SvdJob::Full) {
-      usel = select_real_rows(ut_acc, m, m);
+      // Both accumulators live in the n_pad space of the (possibly
+      // R-projected) square problem, so the real coordinate range is n
+      // for each; a tall input's remaining m - n Full completions come
+      // from Q's completion columns in the blocked replay below.
+      usel = select_real_rows(ut_acc, n, n);
       vsel = select_real_rows(vt_acc, n, n);
     } else {
       usel.resize(static_cast<std::size_t>(k));
@@ -354,6 +460,45 @@ SvdReport svd_values_report(ConstMatrixView<T> a, const SvdConfig& config,
         usel[static_cast<std::size_t>(i)] = i;
         vsel[static_cast<std::size_t>(i)] = i;
       }
+    }
+    if (panel.rows() > 0) {
+      // Tall input: lift the n_pad-space left factor to the full m rows
+      // by blocked reflector replay, U = Q * [U_R; completion]. The right
+      // factor unpads directly from its accumulator rows.
+      rep.stage_times.add(ka::Stage::VectorAccumulation, seconds_since(t0));
+      const bool full = config.job == SvdJob::Full;
+      const index_t ucols = full ? m : n;
+      const auto seed = [&](Matrix<CT>& comp, index_t lj, index_t gj) {
+        const index_t src = usel[static_cast<std::size_t>(gj)];
+        for (index_t i = 0; i < npad; ++i) {
+          comp(i, lj) = ut_acc(src, i);
+        }
+      };
+      t0 = std::chrono::steady_clock::now();
+      if (!wide) {
+        rep.u = Matrix<double>(m, ucols);
+        rep.vt = Matrix<double>(static_cast<index_t>(vsel.size()), n);
+        for (index_t j = 0; j < n; ++j) {
+          for (index_t i = 0; i < rep.vt.rows(); ++i) {
+            rep.vt(i, j) = static_cast<double>(
+                vt_acc(vsel[static_cast<std::size_t>(i)], j));
+          }
+        }
+      } else {
+        rep.u = Matrix<double>(n, static_cast<index_t>(vsel.size()));
+        for (index_t j = 0; j < rep.u.cols(); ++j) {
+          const index_t src = vsel[static_cast<std::size_t>(j)];
+          for (index_t i = 0; i < n; ++i) {
+            rep.u(i, j) = static_cast<double>(vt_acc(src, i));
+          }
+        }
+        rep.vt = Matrix<double>(ucols, m);
+      }
+      rep.stage_times.add(ka::Stage::VectorAccumulation, seconds_since(t0));
+      compose_left_blocked<T, CT>(backend, panel.view(), panel_tau.view(),
+                                  config.kernels, rep.stage_times, seed, m, n,
+                                  full, wide ? rep.vt : rep.u, wide);
+      return rep;
     }
     if (!wide) {
       rep.u = Matrix<double>(m, static_cast<index_t>(usel.size()));

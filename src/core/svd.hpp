@@ -51,6 +51,28 @@ enum class SvdJob {
   return "?";
 }
 
+/// Which Stage-3 engine turns the bidiagonal into singular values/vectors.
+enum class Stage3Solver {
+  QR,             ///< implicit-shift bidiagonal QR (src/bidiag) — the
+                  ///< historic path, bit-identical to every prior release
+  DivideConquer,  ///< recursive divide-and-conquer with secular-equation
+                  ///< merges (src/dc) — O(n^2)-ish vector assembly through
+                  ///< blocked GEMMs, parallel across sub-problems and roots
+  Auto            ///< QR for values-only solves and small extents,
+                  ///< divide-and-conquer for vector solves at or above
+                  ///< SvdConfig::dc_crossover (tunable per backend and
+                  ///< precision via core::TuningTable)
+};
+
+[[nodiscard]] constexpr const char* to_string(Stage3Solver s) noexcept {
+  switch (s) {
+    case Stage3Solver::QR: return "qr";
+    case Stage3Solver::DivideConquer: return "divide-conquer";
+    case Stage3Solver::Auto: return "auto";
+  }
+  return "?";
+}
+
 /// Options of the unified solver.
 struct SvdConfig {
   /// Phase-1 kernel hyperparameters (paper §3.3). Defaults suit the CPU
@@ -72,7 +94,11 @@ struct SvdConfig {
   /// the historic fast path byte-for-byte; Thin/Full thread transform
   /// accumulation through all three pipeline stages (compute-precision
   /// accumulators, Stage::VectorAccumulation timing) and fill
-  /// SvdReport::u / SvdReport::vt. Values are bit-identical across jobs.
+  /// SvdReport::u / SvdReport::vt. Values are bit-identical across jobs
+  /// whenever every job runs the same Stage-3 engine — always true with
+  /// stage3 == Stage3Solver::QR, and under Auto below the dc_crossover;
+  /// once Auto sends a vector job to divide-and-conquer its values agree
+  /// with the values-only solve within the accuracy gates, not bitwise.
   SvdJob job = SvdJob::ValuesOnly;
   /// Aspect-ratio threshold of the QR-first tall path (vector jobs only):
   /// when max(m, n) >= qr_first_aspect * min(m, n), the solver factors the
@@ -96,6 +122,24 @@ struct SvdConfig {
   /// to force the pipeline everywhere; core::learn_small_svd_threshold
   /// measures and persists the crossover per backend/precision.
   index_t small_svd_threshold = 32;
+  /// Stage-3 engine selection (see Stage3Solver). Auto keeps the historic
+  /// implicit-QR kernel for values-only solves — those stay bit-identical
+  /// to every prior release, as does forcing Stage3Solver::QR — and
+  /// switches vector solves to the divide-and-conquer engine once the
+  /// padded extent reaches dc_crossover. Values from the two engines agree
+  /// within the accuracy gates (50*eps*n), not bitwise.
+  Stage3Solver stage3 = Stage3Solver::Auto;
+  /// Auto-mode crossover: vector solves whose padded extent is >= this use
+  /// divide-and-conquer Stage 3. The default is a conservative CPU figure;
+  /// core::learn_stage3_crossover measures and persists the real one per
+  /// backend/precision.
+  index_t dc_crossover = 384;
+  /// Stage-2 rotation-batch capacity: bulge-chase mirror rotations buffer
+  /// up to this many entries and replay per accumulator column tile in one
+  /// cache-resident pass (band/rot_batch.hpp) — bit-identical to the eager
+  /// path. 0 restores eager per-rotation mirroring. Values-only solves
+  /// never mirror, so the knob is inert for them.
+  index_t stage2_batch = 4096;
 
   void validate() const {
     kernels.validate();
@@ -105,6 +149,12 @@ struct SvdConfig {
     UNISVD_REQUIRE(small_svd_threshold >= 0,
                    "SvdConfig: small_svd_threshold must be >= 0 (0 disables "
                    "the fused tiny-problem path)");
+    UNISVD_REQUIRE(dc_crossover >= 0,
+                   "SvdConfig: dc_crossover must be >= 0 (0 sends every "
+                   "Auto-mode vector solve to divide-and-conquer)");
+    UNISVD_REQUIRE(stage2_batch >= 0,
+                   "SvdConfig: stage2_batch must be >= 0 (0 disables "
+                   "Stage-2 rotation batching)");
   }
 };
 
@@ -121,8 +171,11 @@ enum class SvdStatus {
   Rejected,       ///< never solved: refused at admission (serve::SvdService —
                   ///< full queue under AdmissionPolicy::Reject, or a submit
                   ///< after shutdown)
-  Cancelled       ///< never solved: cancelled while queued (serve::SvdService
+  Cancelled,      ///< never solved: cancelled while queued (serve::SvdService
                   ///< shutdown with DrainMode::Cancel)
+  Expired         ///< never solved: the job's deadline passed while it was
+                  ///< still queued and the service shed it at claim time
+                  ///< (serve::ServeConfig::shed_expired)
 };
 
 [[nodiscard]] constexpr const char* to_string(SvdStatus s) noexcept {
@@ -133,6 +186,7 @@ enum class SvdStatus {
     case SvdStatus::InternalError: return "internal-error";
     case SvdStatus::Rejected: return "rejected";
     case SvdStatus::Cancelled: return "cancelled";
+    case SvdStatus::Expired: return "expired";
   }
   return "?";
 }
@@ -159,6 +213,10 @@ struct SvdReport {
   /// kernel, no tile padding — padded_n reports min(m, n) — and all wall
   /// clock under ka::Stage::FusedSmall.
   bool small_path = false;
+  /// True when Stage 3 ran the divide-and-conquer engine (src/dc) —
+  /// explicit Stage3Solver::DivideConquer, or Auto past the crossover. The
+  /// QR-first tall path reports its inner square solve's dispatch.
+  bool stage3_dc = false;
   double scale_factor = 1.0;    ///< auto_scale divisor applied to the input
   SvdStatus status = SvdStatus::Ok;  ///< per-problem outcome (batched Isolate)
   std::string status_message;   ///< empty when Ok; human-readable reason otherwise
@@ -235,9 +293,11 @@ SvdReport svd_report(ConstMatrixView<T> a, SvdConfig config = {},
 
 /// The unified full SVD: A ~= u * diag(values) * vt in storage precision —
 /// the `svd` counterpart of svd_values. config.job selects Thin (default
-/// when left at ValuesOnly) or Full factors. The values are bit-identical
-/// to svd_values(a, config, backend): vector accumulation never touches the
+/// when left at ValuesOnly) or Full factors. With Stage3Solver::QR (or
+/// Auto below the dc_crossover) the values are bit-identical to
+/// svd_values(a, config, backend): vector accumulation never touches the
 /// working matrix, the band, or the bidiagonal iteration's arithmetic.
+/// Auto-dispatched divide-and-conquer solves match within 50*eps*n.
 template <class T>
 Svd<T> svd(ConstMatrixView<T> a, const SvdConfig& config = {},
            ka::Backend& backend = ka::default_backend()) {

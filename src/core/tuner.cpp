@@ -320,6 +320,30 @@ double TuningTable::qr_first_aspect_or(std::string_view backend, Precision p,
   return hit != nullptr ? *hit : fallback;
 }
 
+void TuningTable::set_stage3_crossover(std::string_view backend, Precision p,
+                                       index_t n) {
+  UNISVD_REQUIRE(n >= 0,
+                 "TuningTable: stage3 crossover must be >= 0 (use "
+                 "kStage3CrossoverNever for 'never faster')");
+  UNISVD_REQUIRE(backend.find_first_of(" \t\n#") == std::string_view::npos,
+                 "TuningTable: backend names must be free of whitespace and '#' "
+                 "(the text format's separators and comment marker)");
+  stage3_crossovers_[Key{std::string(backend), p}] = n;
+}
+
+std::optional<index_t> TuningTable::stage3_crossover(std::string_view backend,
+                                                     Precision p) const {
+  const auto it = stage3_crossovers_.find(Key{std::string(backend), p});
+  if (it == stage3_crossovers_.end()) return std::nullopt;
+  return it->second;
+}
+
+index_t TuningTable::stage3_crossover_or(std::string_view backend, Precision p,
+                                         index_t fallback) const {
+  const index_t* hit = lookup(stage3_crossovers_, backend, p);
+  return hit != nullptr ? *hit : fallback;
+}
+
 void TuningTable::set_small_svd_threshold(std::string_view backend, Precision p,
                                           index_t threshold) {
   UNISVD_REQUIRE(threshold >= 0,
@@ -378,6 +402,10 @@ void TuningTable::write(std::ostream& os) const {
     os << "small_svd " << key.first << ' ' << to_string(key.second) << ' '
        << threshold << '\n';
   }
+  for (const auto& [key, n] : stage3_crossovers_) {
+    os << "stage3 " << key.first << ' ' << to_string(key.second) << ' ' << n
+       << '\n';
+  }
   os.imbue(caller_locale);
 }
 
@@ -390,7 +418,8 @@ TuningTable TuningTable::read(std::istream& is, std::size_t* malformed_lines) {
   // token itself). Genuinely unknown directives pass silently so newer
   // tables still load on older code.
   const auto known = [](const std::string& d) {
-    for (const char* full : {"crossover", "kernels", "rsvd", "qr_first", "small_svd"}) {
+    for (const char* full :
+         {"crossover", "kernels", "rsvd", "qr_first", "small_svd", "stage3"}) {
       const std::string_view f(full);
       if (d == f || (!d.empty() && d.size() < f.size() &&
                      f.substr(0, d.size()) == d)) {
@@ -463,6 +492,13 @@ TuningTable TuningTable::read(std::istream& is, std::size_t* malformed_lines) {
         continue;
       }
       table.small_svd_thresholds_[Key{backend, *p}] = threshold;
+    } else if (directive == "stage3") {
+      index_t n = -1;
+      if (!(ls >> n) || n < 0) {
+        ++malformed;
+        continue;
+      }
+      table.stage3_crossovers_[Key{backend, *p}] = n;
     } else if (known(directive)) {
       ++malformed;  // torn prefix of a known directive, args intact
     }
@@ -548,6 +584,8 @@ BatchConfig tuned_batch_config(const TuningTable& table, const ka::Backend& back
       table.qr_first_aspect_or(backend.name(), p, base.svd.qr_first_aspect);
   base.svd.small_svd_threshold = table.small_svd_threshold_or(
       backend.name(), p, base.svd.small_svd_threshold);
+  base.svd.dc_crossover =
+      table.stage3_crossover_or(backend.name(), p, base.svd.dc_crossover);
   return base;
 }
 
@@ -736,6 +774,96 @@ template index_t learn_small_svd_threshold<double>(TuningTable&, ka::Backend&,
                                                    const SvdConfig&, std::uint64_t);
 
 template <class T>
+Stage3CrossoverResult tune_stage3_crossover(ka::Backend& backend,
+                                            std::vector<index_t> sizes,
+                                            int repeats, const SvdConfig& config,
+                                            std::uint64_t seed) {
+  UNISVD_REQUIRE(backend.executes(),
+                 "tune_stage3_crossover: backend must execute kernels");
+  UNISVD_REQUIRE(repeats >= 1, "tune_stage3_crossover: repeats must be positive");
+  if (sizes.empty()) sizes = {64, 96, 128, 192};
+  for (const index_t n : sizes) {
+    UNISVD_REQUIRE(n >= 2, "tune_stage3_crossover: probed sizes must be >= 2");
+  }
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+
+  rnd::Xoshiro256 rng(seed);
+  Stage3CrossoverResult result;
+  for (const index_t n : sizes) {
+    const Matrix<T> probe = rnd::round_to<T>(rnd::gaussian_matrix(n, n, rng));
+
+    const auto run = [&](Stage3Solver solver) {
+      SvdConfig cfg = config;
+      cfg.job = SvdJob::Thin;
+      cfg.stage3 = solver;
+      // The probe measures the Stage-3 engines, not the dispatch heuristics
+      // around them: keep the tiny-problem shortcut out of the way.
+      cfg.small_svd_threshold = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < repeats; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)svd_values_report<T>(probe.view(), cfg, backend);
+        best = std::min(
+            best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                      .count());
+      }
+      return best;
+    };
+
+    Stage3Sample sample;
+    sample.n = n;
+    // Untimed warmup (pool wake-up, first-touch), same protocol as the
+    // qr_first and batch-crossover tuners.
+    (void)run(Stage3Solver::QR);
+    sample.qr_seconds = run(Stage3Solver::QR);
+    sample.dc_seconds = run(Stage3Solver::DivideConquer);
+    result.samples.push_back(sample);
+  }
+
+  // The crossover only descends through a contiguous winning SUFFIX: D&C
+  // must win from the learned extent all the way up, so a noisy win below
+  // a real loss cannot drag the crossover down (mirrors
+  // tune_qr_first_aspect).
+  result.crossover = kStage3CrossoverNever;
+  for (auto it = result.samples.rbegin(); it != result.samples.rend(); ++it) {
+    if (it->dc_seconds <= it->qr_seconds) {
+      result.crossover = it->n;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+template Stage3CrossoverResult tune_stage3_crossover<Half>(
+    ka::Backend&, std::vector<index_t>, int, const SvdConfig&, std::uint64_t);
+template Stage3CrossoverResult tune_stage3_crossover<float>(
+    ka::Backend&, std::vector<index_t>, int, const SvdConfig&, std::uint64_t);
+template Stage3CrossoverResult tune_stage3_crossover<double>(
+    ka::Backend&, std::vector<index_t>, int, const SvdConfig&, std::uint64_t);
+
+template <class T>
+index_t learn_stage3_crossover(TuningTable& table, ka::Backend& backend,
+                               std::vector<index_t> sizes, int repeats,
+                               const SvdConfig& config, std::uint64_t seed) {
+  const Stage3CrossoverResult result = tune_stage3_crossover<T>(
+      backend, std::move(sizes), repeats, config, seed);
+  table.set_stage3_crossover(backend.name(), precision_of<T>, result.crossover);
+  return result.crossover;
+}
+
+template index_t learn_stage3_crossover<Half>(TuningTable&, ka::Backend&,
+                                              std::vector<index_t>, int,
+                                              const SvdConfig&, std::uint64_t);
+template index_t learn_stage3_crossover<float>(TuningTable&, ka::Backend&,
+                                               std::vector<index_t>, int,
+                                               const SvdConfig&, std::uint64_t);
+template index_t learn_stage3_crossover<double>(TuningTable&, ka::Backend&,
+                                                std::vector<index_t>, int,
+                                                const SvdConfig&, std::uint64_t);
+
+template <class T>
 RsvdTuneResult tune_rsvd(ka::Backend& backend, index_t m, index_t n, index_t rank,
                          std::vector<TuningTable::RsvdDefaults> candidates,
                          int repeats, double accuracy_budget, std::uint64_t seed) {
@@ -865,6 +993,8 @@ TruncConfig tuned_trunc_config(const TuningTable& table, const ka::Backend& back
       table.qr_first_aspect_or(backend.name(), p, base.svd.qr_first_aspect);
   base.svd.small_svd_threshold = table.small_svd_threshold_or(
       backend.name(), p, base.svd.small_svd_threshold);
+  base.svd.dc_crossover =
+      table.stage3_crossover_or(backend.name(), p, base.svd.dc_crossover);
   return base;
 }
 

@@ -94,6 +94,7 @@ template <class T>
 ///   rsvd <backend> <FP16|FP32|FP64> <oversample> <power_iters>
 ///   qr_first <backend> <FP16|FP32|FP64> <aspect>
 ///   small_svd <backend> <FP16|FP32|FP64> <threshold>
+///   stage3 <backend> <FP16|FP32|FP64> <crossover_n>
 /// Backend names must be free of whitespace and '#' — the format's
 /// separators and comment marker (every ka::Backend::name() is).
 ///
@@ -146,6 +147,16 @@ class TuningTable {
   [[nodiscard]] double qr_first_aspect_or(std::string_view backend, Precision p,
                                           double fallback) const;
 
+  /// Measured SvdConfig::dc_crossover of the Stage-3 divide-and-conquer
+  /// engine (core::tune_stage3_crossover): the smallest probed extent from
+  /// which D&C stayed faster than the implicit-QR vector kernel.
+  /// kStage3CrossoverNever records "never faster on this backend".
+  void set_stage3_crossover(std::string_view backend, Precision p, index_t n);
+  [[nodiscard]] std::optional<index_t> stage3_crossover(std::string_view backend,
+                                                        Precision p) const;
+  [[nodiscard]] index_t stage3_crossover_or(std::string_view backend, Precision p,
+                                            index_t fallback) const;
+
   /// Measured SvdConfig::small_svd_threshold of the fused tiny-problem path
   /// (core::tune_small_svd_threshold): the largest probed min(m, n) up to
   /// which the fused one-sided Jacobi kernel beat the tiled pipeline.
@@ -159,7 +170,8 @@ class TuningTable {
 
   [[nodiscard]] std::size_t size() const noexcept {
     return crossovers_.size() + kernel_configs_.size() + rsvd_defaults_.size() +
-           qr_first_aspects_.size() + small_svd_thresholds_.size();
+           qr_first_aspects_.size() + small_svd_thresholds_.size() +
+           stage3_crossovers_.size();
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
@@ -192,6 +204,7 @@ class TuningTable {
   std::map<Key, RsvdDefaults> rsvd_defaults_;
   std::map<Key, double> qr_first_aspects_;
   std::map<Key, index_t> small_svd_thresholds_;
+  std::map<Key, index_t> stage3_crossovers_;
 };
 
 /// Run tune_batch_crossover and deposit the learned crossover into `table`
@@ -324,6 +337,47 @@ index_t learn_small_svd_threshold(TuningTable& table, ka::Backend& backend,
                                   std::vector<index_t> sizes = {}, int repeats = 2,
                                   const SvdConfig& config = {},
                                   std::uint64_t seed = 42);
+
+/// Sentinel SvdConfig::dc_crossover meaning "the divide-and-conquer Stage-3
+/// engine never won on this backend — keep implicit QR at every extent".
+/// Finite so it serializes cleanly through the text table.
+inline constexpr index_t kStage3CrossoverNever = 1'000'000'000;
+
+/// One probed extent of the Stage-3 engine tuner.
+struct Stage3Sample {
+  index_t n = 0;            ///< probed square extent
+  double qr_seconds = 0.0;  ///< Thin solve, Stage3Solver::QR forced
+  double dc_seconds = 0.0;  ///< Thin solve, Stage3Solver::DivideConquer forced
+};
+
+struct Stage3CrossoverResult {
+  /// Learned SvdConfig::dc_crossover: the smallest probed extent from which
+  /// divide-and-conquer won at EVERY probed size up to the largest (a noisy
+  /// win below a real loss does not lower the crossover — the same
+  /// suffix-win rule as tune_qr_first_aspect), or kStage3CrossoverNever
+  /// when it never won.
+  index_t crossover = kStage3CrossoverNever;
+  std::vector<Stage3Sample> samples;  ///< ascending in n
+};
+
+/// Learn the Stage-3 engine crossover for this backend and storage type:
+/// time a Thin-job solve of a random n x n matrix with each engine forced
+/// (SvdConfig::stage3) at every probed extent, best of `repeats` runs each
+/// after one untimed warmup. Empty `sizes` probes {64, 96, 128, 192}. The
+/// result's crossover drops into SvdConfig::dc_crossover
+/// (tuned_batch_config / tuned_trunc_config apply it from a table).
+template <class T>
+[[nodiscard]] Stage3CrossoverResult tune_stage3_crossover(
+    ka::Backend& backend, std::vector<index_t> sizes = {}, int repeats = 2,
+    const SvdConfig& config = {}, std::uint64_t seed = 42);
+
+/// Run tune_stage3_crossover and deposit the learned crossover into `table`
+/// under the backend's name and T's precision. Returns the crossover.
+template <class T>
+index_t learn_stage3_crossover(TuningTable& table, ka::Backend& backend,
+                               std::vector<index_t> sizes = {}, int repeats = 2,
+                               const SvdConfig& config = {},
+                               std::uint64_t seed = 42);
 
 /// TruncConfig whose oversample/power_iters come from the table's measured
 /// rsvd defaults (exact backend/precision match, then nearest precision,

@@ -1,0 +1,73 @@
+#pragma once
+/// \file dc_svd.hpp
+/// Stage 3 alternative: divide-and-conquer bidiagonal SVD (LAPACK
+/// dlasd0-family structure, after Liu et al.'s GPU-centered D&C — see
+/// PAPERS.md). Where the implicit-QR kernel (src/bidiag/bidiag_qr.hpp)
+/// sweeps rotations sequentially and mirrors each one across the full
+/// accumulator rows — O(n^3) strided scalar work — the D&C solver
+///
+///   * recursively splits the bidiagonal at its middle row into two
+///     independent sub-problems (solved in parallel via ka::ThreadPool),
+///   * reduces each merge to ONE broken-arrow matrix whose squared
+///     singular values are secular-equation roots (src/dc/secular.hpp),
+///     solved independently per root — the parallel axis of the paper,
+///   * deflates negligible weights and near-equal poles (dlasd2-style
+///     two-sided Givens), re-derives the weight vector by the Loewner
+///     formula so assembled vectors stay numerically orthogonal, and
+///   * composes sub-problem factors with cache-friendly column-blocked
+///     GEMMs instead of rotation-at-a-time updates.
+///
+/// Sub-problems at or below `DcOptions::qr_tail` fall back to the existing
+/// implicit-QR kernel, so the recursion bottoms out on the battle-tested
+/// path. All internal arithmetic runs in double regardless of the
+/// pipeline's compute precision; results are narrowed once on output.
+///
+/// The recursion operates on the uniform n x (n+1) upper-bidiagonal
+/// problem (diagonal d_i at (i,i), superdiagonal e_i at (i,i+1), e of
+/// length n). A square input is embedded as [B 0] by appending a zero
+/// coupling — same singular values and left vectors; the right factor
+/// gains one exact null direction that is dropped again on output.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "ka/thread_pool.hpp"
+
+namespace unisvd::dc {
+
+struct DcOptions {
+  /// Sub-problems with extent <= qr_tail are solved by the implicit-QR
+  /// kernel instead of recursing further.
+  index_t qr_tail = 48;
+  /// Optional pool for parallelism across sub-problems, secular roots and
+  /// GEMM column blocks. Nested use (from inside a batched solve) runs
+  /// inline — same contract as every other pipeline stage.
+  ka::ThreadPool* pool = nullptr;
+  /// Wall clock spent composing the result onto the caller's accumulators
+  /// (the Stage::VectorAccumulation share), accumulated when non-null.
+  double* acc_seconds = nullptr;
+};
+
+/// Observability counters for tests and the flagship bench.
+struct DcStats {
+  index_t merges = 0;         ///< secular merge steps performed
+  index_t tail_solves = 0;    ///< leaf sub-problems sent to implicit QR
+  index_t deflated = 0;       ///< coordinates removed by deflation
+  index_t secular_roots = 0;  ///< secular equations actually solved
+};
+
+/// Divide-and-conquer bidiagonal SVD with optional singular-vector
+/// composition. Same interface contract as bidiag::bidiag_svd_qr_vectors:
+/// d is the n-point diagonal, e the (n-1)-point superdiagonal, and the
+/// non-null accumulators (rows >= n; only the first n rows are touched)
+/// are replaced by U_B^T * ut and V_B^T * vt. Returns the singular values
+/// in descending order, computed in double and narrowed to CT. Passing
+/// null for both accumulators skips the final composition (values only).
+template <class CT>
+std::vector<CT> bidiag_svd_dc(std::vector<CT> d, std::vector<CT> e,
+                              MatrixView<CT>* ut, MatrixView<CT>* vt,
+                              const DcOptions& opts = {},
+                              DcStats* stats = nullptr);
+
+}  // namespace unisvd::dc

@@ -1,0 +1,204 @@
+#pragma once
+/// \file secular.hpp
+/// Secular-equation machinery for the divide-and-conquer bidiagonal SVD
+/// (src/dc/dc_svd.cpp), after Liu et al.'s GPU-centered D&C formulation
+/// and the classic LAPACK dlasd4/dlasd3 analysis.
+///
+/// Each D&C merge reduces to one broken-arrow matrix M with
+///   M^T M = D^2 + z z^T,   D = diag(d_0 < d_1 < ... < d_{k-1}),  d_0 = 0,
+/// whose squared singular values are the roots of the secular equation
+///
+///   f(t) = 1 + sum_j z_j^2 / (d_j^2 - t) = 0,
+///
+/// one root strictly inside each pole interval (d_r^2, d_{r+1}^2) and one
+/// past the last pole. Everything here runs in double regardless of the
+/// pipeline's storage precision: the root offsets and the Loewner-formula
+/// z-recompute are exactly the quantities whose cancellation would destroy
+/// orthogonality of the assembled vectors.
+///
+/// Numerical scheme (per root r):
+///   * pick the nearest pole i (sign of f at the interval midpoint),
+///   * write t = d_i^2 + tau and keep every difference in the stable form
+///       d_j^2 - t = (d_j - d_i)(d_j + d_i) - tau
+///     so no catastrophic cancellation occurs near the pole,
+///   * iterate safeguarded Newton on tau inside a maintained bracket
+///     (f is strictly increasing between poles, so the bracket is exact).
+///
+/// The root is *returned* as the (pole, tau) pair, not as a rounded t:
+/// downstream consumers (Loewner recompute, vector assembly) reconstruct
+/// every difference d_j^2 - sigma_r^2 in the same stable form.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace unisvd::dc {
+
+/// One secular root in nearest-pole representation:
+/// sigma^2 = d[pole]^2 + tau, with interlacing d[r] < sigma_r < d[r+1].
+struct SecularRoot {
+  std::int64_t pole = 0;  ///< index of the nearest pole in the d array
+  double tau = 0.0;       ///< offset from that pole, in sigma^2 units
+  double sigma = 0.0;     ///< sqrt(d[pole]^2 + tau), for value output
+};
+
+/// sigma_r^2 - d_j^2 without cancellation: the pole-offset representation
+/// turns the difference into (d_i - d_j)(d_i + d_j) + tau, every factor of
+/// which is computed from exactly-representable inputs.
+[[nodiscard]] inline double secular_diff(const std::vector<double>& d,
+                                         const SecularRoot& r,
+                                         std::int64_t j) noexcept {
+  const double di = d[static_cast<std::size_t>(r.pole)];
+  const double dj = d[static_cast<std::size_t>(j)];
+  return (di - dj) * (di + dj) + r.tau;
+}
+
+namespace detail {
+
+/// f(d_i^2 + tau) and f'(...) with all pole differences in stable form.
+/// `base[j]` caches (d_j - d_i)(d_j + d_i) for the current pole i.
+struct SecularEval {
+  double f = 0.0;
+  double df = 0.0;
+};
+
+inline SecularEval eval_secular(const std::vector<double>& base,
+                                const std::vector<double>& z,
+                                double tau) noexcept {
+  SecularEval ev;
+  ev.f = 1.0;
+  for (std::size_t j = 0; j < z.size(); ++j) {
+    const double delta = base[j] - tau;  // d_j^2 - t
+    const double q = z[j] / delta;
+    ev.f += z[j] * q;       // z_j^2 / (d_j^2 - t)
+    ev.df += q * q;         // z_j^2 / (d_j^2 - t)^2
+  }
+  return ev;
+}
+
+}  // namespace detail
+
+/// Solve secular root r of the k-pole problem (poles `d` ascending with
+/// d[0] == 0, weights `z` all nonzero). Root r lives in
+/// (d[r]^2, d[r+1]^2); the last root in (d[k-1]^2, d[k-1]^2 + ||z||^2].
+[[nodiscard]] inline SecularRoot solve_secular_root(
+    const std::vector<double>& d, const std::vector<double>& z,
+    std::int64_t r) {
+  const auto k = static_cast<std::int64_t>(d.size());
+  UNISVD_REQUIRE(r >= 0 && r < k, "solve_secular_root: root index out of range");
+  const bool last = (r == k - 1);
+
+  // Width of the bracket in t units, measured from the left pole.
+  double width;  // d_{r+1}^2 - d_r^2 (or ||z||^2 past the last pole)
+  if (last) {
+    width = 0.0;
+    for (const double zj : z) width += zj * zj;
+  } else {
+    const double dl = d[static_cast<std::size_t>(r)];
+    const double dr = d[static_cast<std::size_t>(r + 1)];
+    width = (dr - dl) * (dr + dl);
+  }
+
+  // Pick the nearest pole: f at the interval midpoint decides the half.
+  // f is increasing, so f(mid) > 0 means the root sits left of mid. The
+  // last root has no right pole — it always anchors to d[k-1].
+  std::int64_t pole = r;
+  if (!last) {
+    std::vector<double> base_l(z.size());
+    const double dl = d[static_cast<std::size_t>(r)];
+    for (std::size_t j = 0; j < z.size(); ++j) {
+      const double dj = d[j];
+      base_l[j] = (dj - dl) * (dj + dl);
+    }
+    const double f_mid = detail::eval_secular(base_l, z, width * 0.5).f;
+    if (f_mid <= 0.0) pole = r + 1;
+  }
+
+  // Differences to the chosen pole; bracket on tau with f(lo) < 0 < f(hi).
+  std::vector<double> base(z.size());
+  const double dp = d[static_cast<std::size_t>(pole)];
+  for (std::size_t j = 0; j < z.size(); ++j) {
+    const double dj = d[j];
+    base[j] = (dj - dp) * (dj + dp);
+  }
+  double lo, hi;
+  if (pole == r) {
+    lo = 0.0;
+    hi = last ? width : width * 0.5;
+  } else {
+    lo = -width * 0.5;
+    hi = 0.0;
+  }
+
+  // Safeguarded Newton: the step must land strictly inside the bracket or
+  // it is replaced by a bisection step. f increasing makes the bracket
+  // update exact; 100 iterations is far past double-precision convergence.
+  double tau = 0.5 * (lo + hi);
+  for (int it = 0; it < 100; ++it) {
+    const auto ev = detail::eval_secular(base, z, tau);
+    if (ev.f == 0.0) break;
+    if (ev.f > 0.0) {
+      hi = tau;
+    } else {
+      lo = tau;
+    }
+    double next = tau;
+    if (ev.df > 0.0 && std::isfinite(ev.f)) {
+      next = tau - ev.f / ev.df;
+    }
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    const double tol =
+        2.0 * std::numeric_limits<double>::epsilon() *
+        (std::abs(tau) + std::abs(next) + std::numeric_limits<double>::min());
+    const bool converged = std::abs(next - tau) <= tol;
+    tau = next;
+    if (converged) break;
+  }
+
+  SecularRoot root;
+  root.pole = pole;
+  root.tau = tau;
+  const double t = dp * dp + tau;
+  root.sigma = t > 0.0 ? std::sqrt(t) : 0.0;
+  return root;
+}
+
+/// Loewner-formula weight recompute (LAPACK dlasd3): given the computed
+/// roots, solve the inverse eigenvalue problem for the z vector that has
+/// EXACTLY those roots:
+///
+///   zhat_j^2 = prod_r (sigma_r^2 - d_j^2) / prod_{r != j} (d_r^2 - d_j^2).
+///
+/// Interlacing makes every pairing of one numerator and one denominator
+/// factor positive and O(1), so the product neither over- nor underflows.
+/// Assembling singular vectors from zhat instead of z is what guarantees
+/// numerical orthogonality even when roots crowd their poles. Signs are
+/// copied from the original z.
+[[nodiscard]] inline std::vector<double> loewner_weights(
+    const std::vector<double>& d, const std::vector<double>& z,
+    const std::vector<SecularRoot>& roots) {
+  const std::size_t k = d.size();
+  std::vector<double> zhat(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto jj = static_cast<std::int64_t>(j);
+    double prod = secular_diff(d, roots[k - 1], jj);  // sigma_{k-1}^2 - d_j^2
+    for (std::size_t r = 0; r < j; ++r) {
+      const double num = secular_diff(d, roots[r], jj);
+      const double den = (d[r] - d[j]) * (d[r] + d[j]);
+      prod *= num / den;
+    }
+    for (std::size_t r = j; r + 1 < k; ++r) {
+      const double num = secular_diff(d, roots[r], jj);
+      const double den = (d[r + 1] - d[j]) * (d[r + 1] + d[j]);
+      prod *= num / den;
+    }
+    const double mag = std::sqrt(std::abs(prod));
+    zhat[j] = z[j] < 0.0 ? -mag : mag;
+  }
+  return zhat;
+}
+
+}  // namespace unisvd::dc

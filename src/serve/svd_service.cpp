@@ -70,6 +70,9 @@ void mix_config(Hash2& h, const SvdConfig& c) {
   h.mix(static_cast<std::uint64_t>(c.job));
   h.mix(c.qr_first_aspect);
   h.mix(static_cast<std::uint64_t>(c.small_svd_threshold));
+  h.mix(static_cast<std::uint64_t>(c.stage3));
+  h.mix(static_cast<std::uint64_t>(c.dc_crossover));
+  h.mix(static_cast<std::uint64_t>(c.stage2_batch));
 }
 
 void mix_config(Hash2& h, const TruncConfig& c) {
@@ -288,7 +291,12 @@ template TruncJobHandle SvdService::submit_truncated<float>(
 template TruncJobHandle SvdService::submit_truncated<double>(
     ConstMatrixView<double>, const TruncConfig&, const SubmitOptions&);
 
-std::vector<SvdService::JobPtr> SvdService::claim_wave_locked() {
+std::vector<SvdService::JobPtr> SvdService::claim_wave_locked(
+    std::vector<JobPtr>& expired) {
+  // One clock snapshot per wave: a job either makes this wave's cut or it
+  // doesn't; re-reading the clock mid-claim would let the wave itself age
+  // jobs out.
+  const double t = config_.shed_expired ? now() : 0.0;
   std::vector<JobPtr> wave;
   while (wave.size() < config_.max_wave && queued_ > 0) {
     // Round-robin: the first tenant at or after the cursor, wrapping.
@@ -296,14 +304,37 @@ std::vector<SvdService::JobPtr> SvdService::claim_wave_locked() {
     if (it == pending_.end()) it = pending_.begin();
     auto& heap = it->second.heap;
     std::pop_heap(heap.begin(), heap.end(), job_worse);
-    wave.push_back(std::move(heap.back()));
+    JobPtr job = std::move(heap.back());
     heap.pop_back();
     queued_ -= 1;
     rr_cursor_ = it->first + 1;  // uint wrap at the top id is the restart
     if (heap.empty()) pending_.erase(it);
+    if (config_.shed_expired && job->deadline < t) {
+      // Shed: the deadline passed while the job sat in the queue. It does
+      // not consume a wave slot — the capacity goes to a job that can
+      // still be on time. The pending cache anchor (if any) is withdrawn
+      // so an identical resubmission solves instead of inheriting the
+      // expiry.
+      stats_.expired += 1;
+      if (job->cacheable) {
+        const auto cit = cache_.find(job->key);
+        if (cit != cache_.end() && cit->second.state == job) cache_.erase(cit);
+      }
+      expired.push_back(std::move(job));
+      continue;
+    }
+    wave.push_back(std::move(job));
   }
   stats_.queue_depth = queued_;
   return wave;
+}
+
+void SvdService::fail_expired(const std::vector<JobPtr>& expired) {
+  if (expired.empty()) return;
+  space_cv_.notify_all();  // shedding freed queue slots
+  for (const JobPtr& job : expired) {
+    job->fail(SvdStatus::Expired, "svd_service: deadline expired in queue");
+  }
 }
 
 void SvdService::run_wave(std::vector<JobPtr> wave) {
@@ -359,25 +390,29 @@ void SvdService::run_wave(std::vector<JobPtr> wave) {
 
 std::size_t SvdService::drain_once() {
   std::vector<JobPtr> wave;
+  std::vector<JobPtr> expired;
   {
     std::lock_guard lock(mu_);
-    wave = claim_wave_locked();
+    wave = claim_wave_locked(expired);
   }
-  const std::size_t n = wave.size();
-  if (n > 0) run_wave(std::move(wave));
+  fail_expired(expired);
+  const std::size_t n = wave.size() + expired.size();
+  if (!wave.empty()) run_wave(std::move(wave));
   return n;
 }
 
 void SvdService::worker_loop() {
   for (;;) {
     std::vector<JobPtr> wave;
+    std::vector<JobPtr> expired;
     {
       std::unique_lock lock(mu_);
       work_cv_.wait(lock, [&] { return shutdown_ || queued_ > 0; });
       if (queued_ == 0) return;  // shutdown_ and nothing left to drain
-      wave = claim_wave_locked();
+      wave = claim_wave_locked(expired);
     }
-    run_wave(std::move(wave));
+    fail_expired(expired);
+    if (!wave.empty()) run_wave(std::move(wave));
   }
 }
 

@@ -104,7 +104,10 @@ struct SubmitOptions {
   int priority = 0;
   /// Within a tenant and priority: earlier deadline pops first. Relative
   /// seconds from submission (converted to an absolute instant at submit);
-  /// infinity = no deadline. Ties fall back to submission order.
+  /// infinity = no deadline. Ties fall back to submission order. When
+  /// ServeConfig::shed_expired is on, a job whose deadline has already
+  /// passed by the time a worker claims it is failed with
+  /// SvdStatus::Expired instead of solved.
   double deadline_seconds = std::numeric_limits<double>::infinity();
   /// Participate in the result cache / in-flight coalescing. Off bypasses
   /// the cache entirely (no lookup, no insertion) — guarantees a private
@@ -133,6 +136,14 @@ struct ServeConfig {
   /// in-flight coalescing). Only Ok results are retained; eviction is LRU
   /// over completed entries (pending entries are never evicted).
   std::size_t cache_capacity = 64;
+  /// Deadline-based load shedding: when a job's deadline has already
+  /// passed by the time a worker claims it, fail it immediately with
+  /// SvdStatus::Expired instead of solving work nobody is waiting for —
+  /// under overload this spends capacity on jobs that can still meet
+  /// their deadline. Shed jobs count into ServeStats::expired and never
+  /// consume a wave slot. Off = the historic behaviour (expired jobs are
+  /// still solved). Jobs without a deadline are never shed.
+  bool shed_expired = true;
   /// Scheduling side of each drained wave (schedule, crossover, work
   /// stealing). `svd`/`on_error` members are ignored: per-job configs come
   /// from the submissions and failures are always isolated. The contended-
@@ -160,14 +171,17 @@ struct TenantStats {
 };
 
 /// Snapshot of the service counters (stats()). Conservation invariants,
-/// once the service is idle: accepted == completed + cancelled, and every
-/// submission is exactly one of accepted / rejected / cache_hits /
-/// coalesced.
+/// once the service is idle: accepted == completed + cancelled + expired,
+/// and every submission is exactly one of accepted / rejected /
+/// cache_hits / coalesced.
 struct ServeStats {
   std::uint64_t accepted = 0;    ///< submissions admitted into the queue
   std::uint64_t rejected = 0;    ///< refused at admission (full queue under
                                  ///< Reject, or submit after shutdown)
   std::uint64_t cancelled = 0;   ///< queued jobs failed by shutdown(Cancel)
+  std::uint64_t expired = 0;     ///< queued jobs shed at claim time because
+                                 ///< their deadline had already passed
+                                 ///< (ServeConfig::shed_expired)
   std::uint64_t completed = 0;   ///< jobs whose solve ran (Ok or failed)
   std::uint64_t failed = 0;      ///< completed with status != Ok
   std::uint64_t cache_hits = 0;  ///< submissions served by a completed entry
@@ -368,9 +382,10 @@ class SvdService {
 
   /// Claim and solve ONE wave (up to ServeConfig::max_wave jobs, round-
   /// robin across tenants) on the calling thread. Returns the number of
-  /// jobs solved (0 when the queue was empty). This is the worker loop's
-  /// body as a public primitive: with workers = 0 it makes the service a
-  /// deterministic synchronous object for tests.
+  /// jobs retired — solved plus shed-as-expired (0 when the queue was
+  /// empty). This is the worker loop's body as a public primitive: with
+  /// workers = 0 it makes the service a deterministic synchronous object
+  /// for tests.
   std::size_t drain_once();
 
   /// Stop the service: no further admissions (submissions complete with
@@ -395,8 +410,14 @@ class SvdService {
   /// a cached/pending state of the same key (cache hit / coalesced).
   JobPtr admit(JobPtr job, bool use_cache);
 
-  /// Pop up to max_wave jobs round-robin (caller holds mu_).
-  std::vector<JobPtr> claim_wave_locked();
+  /// Pop up to max_wave jobs round-robin (caller holds mu_). Jobs whose
+  /// deadline already passed are shed into `expired` (when
+  /// ServeConfig::shed_expired) without consuming a wave slot; the caller
+  /// fails them OUTSIDE the service lock via fail_expired().
+  std::vector<JobPtr> claim_wave_locked(std::vector<JobPtr>& expired);
+  /// Fail shed jobs with SvdStatus::Expired and wake blocked submitters
+  /// (shedding freed queue slots). Call without holding mu_.
+  void fail_expired(const std::vector<JobPtr>& expired);
   /// Solve a claimed wave through the scheduling engine + stats bookkeeping.
   void run_wave(std::vector<JobPtr> wave);
   void worker_loop();

@@ -32,11 +32,15 @@ struct SimBreakdown {
   double bidiag2diag = 0.0;
   /// Singular-vector accumulation (SvdJob::Thin/Full) — including the
   /// QR-first tall path's backward reflector replay, whose apply-Q
-  /// launches self-attribute here (sim::simulate_qr_first_thin).
+  /// launches self-attribute here (sim::simulate_qr_first_thin), and the
+  /// Stage-2 rotation-batch replay ("stage2_rot_batch").
   double vector_acc = 0.0;
+  /// Randomized range-finder sketch products (src/rsvd sketch_gemm):
+  /// the truncated pipeline's Y = A * Omega and power-iteration GEMMs.
+  double sketch = 0.0;
 
   [[nodiscard]] double total() const noexcept {
-    return panel + trailing + band2bidiag + bidiag2diag + vector_acc;
+    return panel + trailing + band2bidiag + bidiag2diag + vector_acc + sketch;
   }
   void add(ka::Stage s, double t) noexcept {
     switch (s) {
@@ -45,10 +49,9 @@ struct SimBreakdown {
       case ka::Stage::BandToBidiagonal: band2bidiag += t; break;
       case ka::Stage::BidiagonalToDiagonal: bidiag2diag += t; break;
       case ka::Stage::VectorAccumulation: vector_acc += t; break;
-      // The dense pipeline never emits sketch launches; the randomized
-      // pipeline (src/rsvd) and the fused tiny-problem path (src/small)
-      // are not simulated on device models yet.
-      case ka::Stage::RandomizedSketch: break;
+      case ka::Stage::RandomizedSketch: sketch += t; break;
+      // The fused tiny-problem path (src/small) stays host-modeled — its
+      // single stack-resident launch is below the model's resolution.
       case ka::Stage::FusedSmall: break;
       case ka::Stage::kCount: break;
     }
@@ -93,5 +96,14 @@ class PerfModel {
 /// Synthetic Stage-3 record: bidiagonal QR iteration on the host (the
 /// paper delegates this stage to LAPACK), including the device->host copy.
 [[nodiscard]] ka::LaunchDesc phase3_record(index_t n, Precision p);
+
+/// Sketch record: the randomized range finder's Y = A * Omega product for
+/// an m x n input sketched to l columns — grid, cost, and footprint fields
+/// mirror the real kernel's LaunchDesc (rsvd/gemm.hpp sketch_gemm) so the
+/// trace-driven model prices the truncated pipeline's only dense GEMM.
+/// `tilesize`/`colperblock` are the kernel-config grid knobs.
+[[nodiscard]] ka::LaunchDesc sketch_record(index_t m, index_t n, index_t l,
+                                           int tilesize, int colperblock,
+                                           Precision p);
 
 }  // namespace unisvd::sim

@@ -328,6 +328,41 @@ TEST(QrFirst, PeakAccumulatorMemoryIsPanelSizedAt16384x256) {
                           << budget / 1e6 << " MB O(m_pad*n_pad) budget";
 }
 
+TEST(QrFirst, GenericTallPathPeakMemoryIsPanelSized) {
+  // The generic (below-aspect) tall vector path now also composes U by
+  // blocked reflector replay: forced OFF the QR-first path, an 8192 x 256
+  // FP32 Thin solve must stay within the O(m_pad * n_pad) budget — the
+  // historic eager-mirror m_pad^2 compute-precision accumulator ALONE
+  // (8192^2 floats, ~268 MB) would blow it.
+  const index_t m = 8192;
+  const index_t n = 256;
+  rnd::Xoshiro256 rng(941);
+  Matrix<float> a(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) a(i, j) = static_cast<float>(rng.normal());
+  }
+
+  SvdConfig cfg;
+  cfg.job = SvdJob::Thin;
+  cfg.qr_first_aspect = core::kQrFirstAspectNever;  // pin the generic path
+  const index_t ts = cfg.kernels.tilesize;
+  const index_t mpad = tile::TileLayout::make(m, ts).n;
+  const index_t npad = tile::TileLayout::make(n, ts).n;
+  const std::size_t budget = static_cast<std::size_t>(40 * mpad * npad);
+  ASSERT_LT(budget, static_cast<std::size_t>(mpad * mpad) * sizeof(float));
+
+  matrix_reset_peak();
+  const std::size_t before = matrix_peak_bytes();
+  const auto rep = svd_values_report<float>(a.view(), cfg);
+  const std::size_t peak = matrix_peak_bytes();
+
+  EXPECT_FALSE(rep.qr_first);
+  expect_valid_svd<float>(a.view(), rep, SvdJob::Thin, "generic tall peak");
+  EXPECT_GE(peak, before);
+  EXPECT_LE(peak, budget) << "peak " << peak / 1e6 << " MB exceeds the "
+                          << budget / 1e6 << " MB O(m_pad*n_pad) budget";
+}
+
 TEST(QrFirst, HighWaterCounterTracksLiveMatrices) {
   const std::size_t live0 = matrix_live_bytes();
   matrix_reset_peak();

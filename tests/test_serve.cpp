@@ -140,7 +140,7 @@ TEST(Serve, PriorityThenDeadlineThenSubmissionOrder) {
       SubmitOptions{.priority = 1, .deadline_seconds = 1e6});
   JobHandle soon = svc.submit<float>(
       test_matrix(8, 8, 3).view(), SvdConfig{},
-      SubmitOptions{.priority = 1, .deadline_seconds = 1.0});
+      SubmitOptions{.priority = 1, .deadline_seconds = 60.0});
 
   // Wave 1: highest priority wins; among equals the earlier deadline.
   ASSERT_EQ(svc.drain_once(), 1u);
@@ -414,6 +414,85 @@ TEST(Serve, TakeCopiesWhenStateIsShared) {
   JobHandle hit = svc.submit<float>(a.view());
   ASSERT_TRUE(hit.done());
   EXPECT_EQ(hit.report().values, taken.values);
+}
+
+TEST(Serve, ExpiredJobIsShedNotSolved) {
+  // A job whose deadline has already passed when a worker claims it is
+  // failed with Expired instead of solved: under overload the capacity
+  // goes to jobs that can still be on time.
+  ServeConfig cfg = manual_config();
+  cfg.cache_capacity = 8;
+  SvdService svc(cfg);
+  const Matrix<float> a = test_matrix(16, 16, 130);
+
+  JobHandle dead = svc.submit<float>(
+      a.view(), SvdConfig{}, SubmitOptions{.deadline_seconds = -1.0});
+  JobHandle live = svc.submit<float>(test_matrix(16, 16, 131).view());
+  EXPECT_FALSE(dead.done());  // shedding happens at claim, not at submit
+  drain_all(svc);
+
+  EXPECT_EQ(dead.status(), SvdStatus::Expired);
+  EXPECT_TRUE(dead.report().values.empty());
+  EXPECT_FALSE(dead.report().status_message.empty());
+  EXPECT_EQ(live.status(), SvdStatus::Ok);
+
+  // The shed job's pending cache anchor was withdrawn: an identical
+  // resubmission with a generous deadline solves instead of inheriting
+  // the expiry.
+  JobHandle retry = svc.submit<float>(a.view());
+  EXPECT_FALSE(retry.done());  // not a hit, not coalesced onto the corpse
+  drain_all(svc);
+  EXPECT_EQ(retry.status(), SvdStatus::Ok);
+
+  const ServeStats s = svc.stats();
+  EXPECT_EQ(s.expired, 1u);
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.coalesced, 0u);
+  // Conservation: accepted == completed + cancelled + expired.
+  EXPECT_EQ(s.accepted, s.completed + s.cancelled + s.expired);
+  EXPECT_EQ(s.completed, 2u);
+}
+
+TEST(Serve, ExpiredJobsDoNotConsumeWaveSlots) {
+  // max_wave = 2 with two expired jobs ahead of two live ones: one drain
+  // must shed both corpses AND solve both live jobs — shedding is free.
+  ServeConfig cfg = manual_config();
+  cfg.max_wave = 2;
+  SvdService svc(cfg);
+
+  JobHandle d1 = svc.submit<float>(
+      test_matrix(8, 8, 140).view(), SvdConfig{},
+      SubmitOptions{.priority = 2, .deadline_seconds = -1.0});
+  JobHandle d2 = svc.submit<float>(
+      test_matrix(8, 8, 141).view(), SvdConfig{},
+      SubmitOptions{.priority = 2, .deadline_seconds = -1.0});
+  JobHandle l1 = svc.submit<float>(test_matrix(8, 8, 142).view());
+  JobHandle l2 = svc.submit<float>(test_matrix(8, 8, 143).view());
+
+  EXPECT_EQ(svc.drain_once(), 4u);  // 2 shed + 2 solved, one wave
+  EXPECT_EQ(d1.status(), SvdStatus::Expired);
+  EXPECT_EQ(d2.status(), SvdStatus::Expired);
+  EXPECT_EQ(l1.status(), SvdStatus::Ok);
+  EXPECT_EQ(l2.status(), SvdStatus::Ok);
+  const ServeStats s = svc.stats();
+  EXPECT_EQ(s.expired, 2u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.waves, 1u);
+  EXPECT_EQ(s.queue_depth, 0u);
+}
+
+TEST(Serve, SheddingDisabledSolvesExpiredJobs) {
+  // shed_expired = false restores the historic behaviour: a stale job is
+  // still solved and reports Ok.
+  ServeConfig cfg = manual_config();
+  cfg.shed_expired = false;
+  SvdService svc(cfg);
+  JobHandle stale = svc.submit<float>(
+      test_matrix(12, 12, 150).view(), SvdConfig{},
+      SubmitOptions{.deadline_seconds = -1.0});
+  ASSERT_EQ(svc.drain_once(), 1u);
+  EXPECT_EQ(stale.status(), SvdStatus::Ok);
+  EXPECT_EQ(svc.stats().expired, 0u);
 }
 
 TEST(Serve, StatsConservationAndQueueGauges) {

@@ -169,6 +169,33 @@ TEST(PerfModel, StageAttributionSumsToTotal) {
   EXPECT_NEAR(sum, br.total(), 1e-12 * sum);
 }
 
+TEST(PerfModel, SketchRecordIsModeledAndAttributed) {
+  // Stage::RandomizedSketch is priced, not dropped: the record mirrors the
+  // real sketch_gemm launch (2mnl flops, column-block re-streaming reads)
+  // and simulate() books it into its own breakdown bucket and the total.
+  const PerfModel m(h100());
+  const auto d = sketch_record(4096, 4096, 64, 32, 8, Precision::FP32);
+  EXPECT_EQ(d.stage, ka::Stage::RandomizedSketch);
+  EXPECT_EQ(d.name, "sketch_gemm");
+  EXPECT_DOUBLE_EQ(d.cost.flops, 2.0 * 4096.0 * 4096.0 * 64.0);
+
+  const double t = m.launch_seconds(d);
+  EXPECT_GT(t, 0.0);
+  const auto br = m.simulate({d});
+  EXPECT_DOUBLE_EQ(br.sketch, t);
+  EXPECT_DOUBLE_EQ(br.total(), t);
+  EXPECT_EQ(br.panel, 0.0);
+  EXPECT_EQ(br.vector_acc, 0.0);
+
+  // Monotonicities: more sketch columns and more input rows both cost more.
+  EXPECT_GT(m.launch_seconds(sketch_record(4096, 4096, 256, 32, 8,
+                                           Precision::FP32)),
+            t);
+  EXPECT_GT(m.launch_seconds(sketch_record(16384, 4096, 64, 32, 8,
+                                           Precision::FP32)),
+            t);
+}
+
 TEST(PerfModel, Fp16MatchesFp32SpeedOnNvidia) {
   // Paper Fig 5: "FP16 has the same speed as FP32 because it uses the FP32
   // CUDA cores" (memory traffic differs slightly, so allow 25%).
