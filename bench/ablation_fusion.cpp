@@ -35,8 +35,9 @@ ScheduleStats stats_of(index_t n, bool fused) {
   ka::TraceRecorder tr;
   qr::schedule_band_reduction<float>(n / 32, cfg, tr);
   ScheduleStats out;
-  out.launches = tr.records().size();
-  for (const auto& d : tr.records()) {
+  const auto records = tr.records();
+  out.launches = records.size();
+  for (const auto& d : records) {
     if (d.stage == ka::Stage::TrailingUpdate) {
       out.trailing_bytes += d.cost.bytes_read + d.cost.bytes_written;
     }

@@ -31,6 +31,16 @@ using index_t = std::int64_t;
 // O(m_pad^2) is asserted against matrix_peak_bytes() in the test suite.
 // Counters are atomic (batched solvers allocate concurrently) and cost one
 // relaxed RMW per allocation — noise next to the fill that follows.
+//
+// Deliberately lock-free rather than UNISVD_GUARDED_BY a mutex: a mutex on
+// the allocation path would serialize every concurrent Matrix build, and
+// the gauges need no cross-field consistency. Relaxed ordering suffices —
+// each gauge is independently monotone-correct (fetch_add/fetch_sub can
+// never lose a byte), and the peak CAS loop re-reads until it either
+// observes a peak >= the live value it computed or publishes that value,
+// so the high-water mark never under-reports a level this thread created.
+// Tests that assert on the peak quiesce their allocations first, which
+// gives the happens-before edge relaxed loads don't.
 // ---------------------------------------------------------------------------
 
 namespace detail {

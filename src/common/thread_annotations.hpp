@@ -1,0 +1,163 @@
+#pragma once
+
+// Clang Thread Safety Analysis support for unisvd.
+//
+// Every mutex in `src/` must be a `unisvd::Mutex` (enforced by
+// `scripts/unisvd_lint.py`, rule `raw-mutex`), and every field it guards
+// must carry `UNISVD_GUARDED_BY(mu)`.  Under Clang the capability
+// attributes below turn lock discipline into a compile-time check:
+// `-Wthread-safety -Werror` (enabled for Clang in CMakeLists.txt) fails
+// the build on any read or write of a guarded field without its mutex
+// held, on any call of a `UNISVD_REQUIRES` function without the named
+// capability, and on double-acquire / missing-release of a scoped lock.
+// Under GCC (and any compiler without the attribute) the macros expand
+// to nothing, so the wrappers cost exactly a `std::mutex`.
+//
+// See docs/STATIC_ANALYSIS.md for the macro cheat-sheet, how to read an
+// analysis failure, and the policy for justified suppressions.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define UNISVD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define UNISVD_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// Type attributes -----------------------------------------------------------
+
+// Marks a class as a capability (something that can be held/released).
+#define UNISVD_CAPABILITY(x) UNISVD_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII class whose lifetime acquires/releases a capability.
+#define UNISVD_SCOPED_CAPABILITY UNISVD_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member attributes ----------------------------------------------------
+
+// The field may only be touched while `x` is held.
+#define UNISVD_GUARDED_BY(x) UNISVD_THREAD_ANNOTATION(guarded_by(x))
+
+// The pointee (not the pointer) may only be touched while `x` is held.
+#define UNISVD_PT_GUARDED_BY(x) UNISVD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attributes -------------------------------------------------------
+
+// Caller must already hold the capability (the "I am called locked"
+// contract; e.g. SvdService::claim_wave_locked).
+#define UNISVD_REQUIRES(...) \
+  UNISVD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// The function acquires the capability and returns holding it.
+#define UNISVD_ACQUIRE(...) \
+  UNISVD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// The function releases the capability.
+#define UNISVD_RELEASE(...) \
+  UNISVD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// The function acquires the capability iff it returns `ret`.
+#define UNISVD_TRY_ACQUIRE(ret, ...) \
+  UNISVD_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock guard).
+#define UNISVD_EXCLUDES(...) \
+  UNISVD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// The function returns a reference to the named capability.
+#define UNISVD_RETURN_CAPABILITY(x) \
+  UNISVD_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch.  Every use must carry a written justification comment;
+// docs/STATIC_ANALYSIS.md catalogues the accepted patterns (e.g. a field
+// that is immutable once a happens-before edge has been observed).
+#define UNISVD_NO_THREAD_SAFETY_ANALYSIS \
+  UNISVD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace unisvd {
+
+// Annotated drop-in for std::mutex.  `native()` exposes the underlying
+// std::mutex for std::condition_variable interop (via UniqueLock only).
+class UNISVD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() UNISVD_ACQUIRE() { mu_.lock(); }
+  void unlock() UNISVD_RELEASE() { mu_.unlock(); }
+  bool try_lock() UNISVD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// Annotated drop-in for std::lock_guard<std::mutex>.
+class UNISVD_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) UNISVD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() UNISVD_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Annotated drop-in for std::unique_lock<std::mutex>: supports deferred
+// acquisition, manual lock/unlock, and condition-variable waits.
+class UNISVD_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) UNISVD_ACQUIRE(mu) : lock_(mu.native()) {}
+  UniqueLock(Mutex& mu, std::defer_lock_t) UNISVD_EXCLUDES(mu)
+      : lock_(mu.native(), std::defer_lock) {}
+  ~UniqueLock() UNISVD_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() UNISVD_ACQUIRE() { lock_.lock(); }
+  void unlock() UNISVD_RELEASE() { lock_.unlock(); }
+  bool try_lock() UNISVD_TRY_ACQUIRE(true) { return lock_.try_lock(); }
+  bool owns_lock() const noexcept { return lock_.owns_lock(); }
+
+  // For CondVar only; waiting re-acquires before returning, so the
+  // capability state is unchanged across the call.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable over unisvd::Mutex.  Only the predicate-free wait is
+// offered on purpose: Clang analyzes lambda bodies without the enclosing
+// function's capability set, so a `wait(lock, pred)` whose predicate reads
+// guarded fields would produce false positives.  Callers write the
+// standard `while (!cond) cv.wait(lock);` loop instead, which the
+// analysis understands.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.native(), deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace unisvd

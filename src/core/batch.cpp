@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 

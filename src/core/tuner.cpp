@@ -30,6 +30,15 @@
 #include "rand/matrix_gen.hpp"
 #include "tile/tile_layout.hpp"
 
+// Concurrency model (audited for the -Wthread-safety retrofit): TuningTable
+// holds no mutexes and no fields shared between threads — a table instance
+// is confined to its owning thread, and the only cross-thread (in fact
+// cross-process) coordination is save()'s atomic-rename protocol below,
+// whose sole shared state is the process-local save_seq atomic. There is
+// deliberately nothing here for UNISVD_GUARDED_BY to annotate; if a shared
+// field is ever added it must use unisvd::Mutex (scripts/unisvd_lint.py
+// forbids raw std::mutex in src/).
+
 namespace unisvd::core {
 
 std::vector<qr::KernelConfig> default_candidates(index_t n) {

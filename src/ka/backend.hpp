@@ -22,32 +22,39 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "ka/launch.hpp"
 #include "ka/thread_pool.hpp"
 #include "ka/workgroup.hpp"
 
 namespace unisvd::ka {
 
-/// Ordered record of every launch submitted to a backend.
+/// Ordered record of every launch submitted to a backend. Thread-safe:
+/// backends launch from pool threads, so `record` may run concurrently
+/// with a reader. `records()` therefore returns a snapshot by value —
+/// it used to hand out a reference to the live vector, which raced any
+/// concurrent `record` (push_back may reallocate under the reader).
 class TraceRecorder {
  public:
   void record(const LaunchDesc& d) {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     records_.push_back(d);
   }
   void clear() {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     records_.clear();
   }
-  [[nodiscard]] const std::vector<LaunchDesc>& records() const noexcept { return records_; }
+  [[nodiscard]] std::vector<LaunchDesc> records() const {
+    LockGuard lock(mutex_);
+    return records_;
+  }
 
  private:
-  std::mutex mutex_;
-  std::vector<LaunchDesc> records_;
+  mutable Mutex mutex_;
+  std::vector<LaunchDesc> records_ UNISVD_GUARDED_BY(mutex_);
 };
 
 /// A kernel body: runs once per workgroup.

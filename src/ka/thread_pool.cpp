@@ -54,7 +54,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -68,8 +68,13 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      UniqueLock lock(mutex_);
+      // Manual wait loop (not the predicate overload): Clang's thread-safety
+      // analysis checks lambda bodies without the enclosing capability set,
+      // so reading stop_/generation_ inside a predicate would false-positive.
+      while (!stop_ && generation_ == seen) {
+        work_cv_.wait(lock);
+      }
       if (stop_) return;
       seen = generation_;
       job = current_;  // shared ownership keeps the job alive for stragglers
@@ -91,7 +96,7 @@ void ThreadPool::run_iteration(Job& job, index_t i, bool notify_done) {
     try {
       (*job.fn)(i);
     } catch (...) {
-      std::lock_guard lock(job.error_mutex);
+      LockGuard lock(job.error_mutex);
       if (!job.error) job.error = std::current_exception();
       job.failed.store(true, std::memory_order_relaxed);
     }
@@ -102,7 +107,7 @@ void ThreadPool::run_iteration(Job& job, index_t i, bool notify_done) {
     // either not yet blocked (and will see done == n under the lock) or
     // already blocked (and receives this notification). Prevents the
     // classic lost-wakeup between predicate check and sleep.
-    { std::lock_guard lock(mutex_); }
+    { LockGuard lock(mutex_); }
     done_cv_.notify_all();
   }
 }
@@ -167,7 +172,7 @@ bool ThreadPool::help_one_nested() {
   if (nested_open_.load(std::memory_order_acquire) == 0) return false;
   std::shared_ptr<Job> job;
   {
-    std::lock_guard lock(nested_mutex_);
+    LockGuard lock(nested_mutex_);
     for (const auto& j : nested_) {
       if (j->next.load(std::memory_order_relaxed) < j->n) {
         job = j;
@@ -194,7 +199,7 @@ void ThreadPool::run_published_nested(index_t n,
   job->n = n;
   job->chunked = tls_chunked_steal;  // inherit the enclosing job's granularity
   {
-    std::lock_guard lock(nested_mutex_);
+    LockGuard lock(nested_mutex_);
     nested_.push_back(job);
   }
   nested_open_.fetch_add(1, std::memory_order_release);
@@ -202,7 +207,7 @@ void ThreadPool::run_published_nested(index_t n,
   drain(*job, /*notify_done=*/false);  // the owner executes alongside stealers
 
   {
-    std::lock_guard lock(nested_mutex_);
+    LockGuard lock(nested_mutex_);
     nested_.erase(std::find(nested_.begin(), nested_.end(), job));
   }
   nested_open_.fetch_sub(1, std::memory_order_release);
@@ -220,7 +225,16 @@ void ThreadPool::run_published_nested(index_t n,
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
-  if (job->error) std::rethrow_exception(job->error);
+  // The acquire load of done == n above already orders the error write
+  // (made under error_mutex before the final done bump) before this read,
+  // but take the lock anyway: it is uncontended post-completion and keeps
+  // the access pattern provable by the static analysis.
+  std::exception_ptr error;
+  {
+    LockGuard lock(job->error_mutex);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn) {
@@ -256,7 +270,7 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn,
 
   // One top-level job at a time: external threads queue here, not on the
   // job slot.
-  std::unique_lock submit_lock(submit_mutex_, std::defer_lock);
+  UniqueLock submit_lock(submit_mutex_, std::defer_lock);
   if (opts.busy_fallback_inline) {
     if (!submit_lock.try_lock()) {
       // Pool contended: degrade this call (and everything it launches on
@@ -275,7 +289,7 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn,
   job->stealing = opts.work_stealing;
   job->chunked = opts.work_stealing && opts.chunked_stealing;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     current_ = job;
     ++generation_;
   }
@@ -284,12 +298,21 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn,
   run_job(*job);  // the calling thread participates
 
   {
-    std::unique_lock lock(mutex_);
-    done_cv_.wait(lock,
-                  [&] { return job->done.load(std::memory_order_acquire) == job->n; });
+    UniqueLock lock(mutex_);
+    while (job->done.load(std::memory_order_acquire) != job->n) {
+      done_cv_.wait(lock);
+    }
     current_.reset();
   }
-  if (job->error) std::rethrow_exception(job->error);
+  // done == n was observed with acquire above, so the error write (under
+  // error_mutex, before the final done bump) happens-before this read;
+  // the lock is uncontended and keeps the discipline statically provable.
+  std::exception_ptr error;
+  {
+    LockGuard lock(job->error_mutex);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace unisvd::ka

@@ -22,16 +22,15 @@
 /// batch no longer serializes its tail.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace unisvd::ka {
 
@@ -126,8 +125,8 @@ class ThreadPool {
     index_t n = 0;
     bool stealing = false;  ///< workers help nested jobs after the range drains
     bool chunked = false;   ///< helpers claim half-remainder ranges, not indices
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    Mutex error_mutex;
+    std::exception_ptr error UNISVD_GUARDED_BY(error_mutex);
   };
 
   void worker_loop();
@@ -151,18 +150,24 @@ class ThreadPool {
   /// top-level iteration has finished.
   void steal_until_done(Job& job);
 
-  std::vector<std::thread> workers_;
-  std::mutex submit_mutex_;  ///< serializes top-level parallel_for calls
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::shared_ptr<Job> current_;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< written in ctor, joined in dtor only
+  Mutex submit_mutex_;  ///< serializes top-level parallel_for calls
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::shared_ptr<Job> current_ UNISVD_GUARDED_BY(mutex_);
+  std::uint64_t generation_ UNISVD_GUARDED_BY(mutex_) = 0;
+  bool stop_ UNISVD_GUARDED_BY(mutex_) = false;
 
-  std::mutex nested_mutex_;  ///< guards the published-nested-job list
-  std::vector<std::shared_ptr<Job>> nested_;
-  std::atomic<int> nested_open_{0};  ///< lock-free emptiness check for stealers
+  Mutex nested_mutex_;  ///< guards the published-nested-job list
+  std::vector<std::shared_ptr<Job>> nested_ UNISVD_GUARDED_BY(nested_mutex_);
+  /// Lock-free emptiness check for stealers. Intentionally atomic rather
+  /// than guarded: helpers probe it on every steal-loop pass, and a stale
+  /// zero only costs a missed helping opportunity (the publishing owner
+  /// still drains its own range), never a correctness issue. The release
+  /// bump in run_published_nested pairs with the acquire probe in
+  /// help_one_nested so a nonzero observation happens-after the push_back.
+  std::atomic<int> nested_open_{0};
 };
 
 }  // namespace unisvd::ka

@@ -184,7 +184,7 @@ double SvdService::now() const {
 SvdService::JobPtr SvdService::admit(JobPtr job, bool use_cache) {
   const char* reject_reason = nullptr;
   {
-    std::unique_lock lock(mu_);
+    UniqueLock lock(mu_);
     if (use_cache && !shutdown_) {
       const auto it = cache_.find(job->key);
       if (it != cache_.end()) {
@@ -350,7 +350,7 @@ void SvdService::run_wave(std::vector<JobPtr> wave) {
   });
 
   const double t = now();
-  std::lock_guard lock(mu_);
+  LockGuard lock(mu_);
   stats_.waves += 1;
   for (const JobPtr& job : wave) {
     stats_.completed += 1;
@@ -392,7 +392,7 @@ std::size_t SvdService::drain_once() {
   std::vector<JobPtr> wave;
   std::vector<JobPtr> expired;
   {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     wave = claim_wave_locked(expired);
   }
   fail_expired(expired);
@@ -406,8 +406,12 @@ void SvdService::worker_loop() {
     std::vector<JobPtr> wave;
     std::vector<JobPtr> expired;
     {
-      std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || queued_ > 0; });
+      UniqueLock lock(mu_);
+      // Manual wait loop: predicate lambdas are analyzed without the
+      // enclosing capability set (see thread_annotations.hpp).
+      while (!shutdown_ && queued_ == 0) {
+        work_cv_.wait(lock);
+      }
       if (queued_ == 0) return;  // shutdown_ and nothing left to drain
       wave = claim_wave_locked(expired);
     }
@@ -420,7 +424,7 @@ void SvdService::shutdown(DrainMode mode) {
   std::vector<JobPtr> to_cancel;
   std::vector<std::thread> to_join;
   {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     if (!shutdown_) {
       shutdown_ = true;
       if (mode == DrainMode::Cancel) {
@@ -451,7 +455,7 @@ void SvdService::shutdown(DrainMode mode) {
 }
 
 ServeStats SvdService::stats() const {
-  std::lock_guard lock(mu_);
+  LockGuard lock(mu_);
   ServeStats snap = stats_;
   snap.queue_depth = queued_;
   snap.cache_entries = lru_.size();
@@ -459,7 +463,7 @@ ServeStats SvdService::stats() const {
 }
 
 std::size_t SvdService::queue_depth() const {
-  std::lock_guard lock(mu_);
+  LockGuard lock(mu_);
   return queued_;
 }
 

@@ -23,6 +23,12 @@
 
 namespace unisvd::smallsvd {
 
+// unisvd-lint: begin-kernel(jacobi-rotations)
+// Hot sweep bodies: every function until end-kernel runs inside the Jacobi
+// pair loop and must stay allocation-free (enforced by unisvd_lint.py,
+// rule kernel-alloc). Setup code (the Tournament pairing table, which
+// allocates once per solve) lives below the region.
+
 /// 2x2 Gram measures of a column pair: app = ||g_p||^2, aqq = ||g_q||^2,
 /// apq = <g_p, g_q>, accumulated in double.
 struct PairGram {
@@ -144,6 +150,7 @@ inline bool rotate_pair_cached(CT* gp, CT* gq, index_t m, double& app,
   aqq = s * s * g.app + 2.0 * c * s * g.apq + c * c * g.aqq;
   return true;
 }
+// unisvd-lint: end-kernel
 
 /// Round-robin tournament pairing over n columns: m = n + n%2 slots, m-1
 /// rounds of m/2 DISJOINT pairs per sweep (disjointness is what lets the

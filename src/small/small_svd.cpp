@@ -93,6 +93,12 @@ void complete_columns(Matrix<double>& u, std::vector<index_t> filled,
   }
 }
 
+// unisvd-lint: begin-kernel(small-svd-fused)
+// The stack-resident compute core: bidiagonalization, 2x2 closure and the
+// implicit-shift QR chase. Everything until end-kernel works in caller
+// scratch (Buffer above) and must stay allocation-free — unisvd_lint.py
+// rule kernel-alloc fails the build on any heap use introduced here.
+
 /// In-place Householder (Golub-Kahan) bidiagonalization of the column-major
 /// buffer g (m x n, ld = m, m >= n): d gets the diagonal, e the
 /// superdiagonal (length n-1). Reflector norms accumulate in double; the
@@ -317,6 +323,9 @@ void gr_values_small(CT* w, CT* rv1, index_t n) {
       }
       if (its == kMaxIts - 1) {
         // Stagnation: settle the active block by bisection (guaranteed).
+        // unisvd-lint: begin-allow(kernel-alloc) cold fallback, entered only
+        // when a block exhausts the sweep budget — never on the hot path,
+        // and the bisection driver takes vectors by contract.
         std::vector<double> bd;
         std::vector<double> be;
         for (index_t i = l; i <= k; ++i) {
@@ -324,6 +333,7 @@ void gr_values_small(CT* w, CT* rv1, index_t n) {
           if (i > l) be.push_back(static_cast<double>(rv1[i]));
         }
         const auto vals = bidiag::bidiag_svd_bisect(bd, be);  // descending
+        // unisvd-lint: end-allow
         for (index_t i = l; i <= k; ++i) {
           w[i] = static_cast<CT>(vals[static_cast<std::size_t>(i - l)]);
           rv1[i] = CT(0);
@@ -395,6 +405,7 @@ void gr_values_small(CT* w, CT* rv1, index_t n) {
   }
   for (index_t i = 0; i < n; ++i) w[i] = std::abs(w[i]) * anorm;
 }
+// unisvd-lint: end-kernel
 
 }  // namespace
 

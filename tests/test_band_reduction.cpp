@@ -126,10 +126,12 @@ TEST(BandReduction, RecordedTraceEqualsAnalyticSchedule) {
     ka::TraceRecorder analytic;
     qr::schedule_band_reduction<double>(nt, cfg, analytic);
 
-    ASSERT_EQ(real_trace.records().size(), analytic.records().size());
-    for (std::size_t i = 0; i < analytic.records().size(); ++i) {
-      const auto& r = real_trace.records()[i];
-      const auto& s = analytic.records()[i];
+    const auto real_records = real_trace.records();
+    const auto analytic_records = analytic.records();
+    ASSERT_EQ(real_records.size(), analytic_records.size());
+    for (std::size_t i = 0; i < analytic_records.size(); ++i) {
+      const auto& r = real_records[i];
+      const auto& s = analytic_records[i];
       EXPECT_EQ(r.name, s.name) << i;
       EXPECT_EQ(r.num_groups, s.num_groups) << i;
       EXPECT_EQ(r.group_size, s.group_size) << i;

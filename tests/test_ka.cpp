@@ -517,10 +517,51 @@ TEST(Backend, TraceRecorderCapturesLaunches) {
   d2.group_size = 4;
   be.launch(d1, [](ka::WorkGroupCtx&) {});
   be.launch(d2, [](ka::WorkGroupCtx&) {});
-  ASSERT_EQ(trace.records().size(), 2u);
-  EXPECT_EQ(trace.records()[0].name, "a");
-  EXPECT_EQ(trace.records()[0].cost.flops, 100.0);
-  EXPECT_EQ(trace.records()[1].num_groups, 5);
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "a");
+  EXPECT_EQ(records[0].cost.flops, 100.0);
+  EXPECT_EQ(records[1].num_groups, 5);
+}
+
+// Regression (TSan-visible): records() used to return a reference to the
+// live vector, so reading it while another thread's launch called record()
+// raced the push_back's reallocation. It now returns a locked snapshot;
+// this test drives concurrent record/records traffic and checks every
+// snapshot is a consistent prefix of the launch stream.
+TEST(Backend, TraceRecorderSnapshotRacesRecording) {
+  ka::SerialBackend be;
+  ka::TraceRecorder trace;
+  be.set_trace(&trace);
+  constexpr int kLaunches = 400;
+  std::atomic<bool> start{false};
+  std::atomic<bool> bad_snapshot{false};
+  std::thread reader([&] {
+    while (!start.load(std::memory_order_acquire)) {
+    }
+    std::size_t last = 0;
+    do {
+      const auto snap = trace.records();
+      if (snap.size() < last) bad_snapshot.store(true);
+      last = snap.size();
+      for (std::size_t i = 0; i < snap.size(); ++i) {
+        if (snap[i].num_groups != static_cast<index_t>(i) + 1) {
+          bad_snapshot.store(true);
+        }
+      }
+    } while (last < kLaunches);
+  });
+  ka::LaunchDesc d;
+  d.name = "snap";
+  d.group_size = 1;
+  start.store(true, std::memory_order_release);
+  for (int i = 0; i < kLaunches; ++i) {
+    d.num_groups = i + 1;
+    be.launch(d, [](ka::WorkGroupCtx&) {});
+  }
+  reader.join();
+  EXPECT_FALSE(bad_snapshot.load());
+  EXPECT_EQ(trace.records().size(), static_cast<std::size_t>(kLaunches));
 }
 
 TEST(Backend, TraceBackendDoesNotExecute) {
